@@ -1,0 +1,69 @@
+"""Figs. 2 & 3 — the workflow DAG structures, regenerated.
+
+Verifies the DAGs have exactly the paper's structure (tasks, file
+nodes, dependencies; the OSG variant's setup decoration) and emits
+``fig2_sandhills.dot`` / ``fig3_osg.dot`` artifacts.
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.core.workflow_factory import (
+    build_blast2cap3_adag,
+    default_catalogs,
+    workflow_figure,
+)
+from repro.perfmodel.task_models import PaperTaskModel
+from repro.wms.planner import PlannerOptions, plan
+
+
+def test_fig2_fig3_dag_structure(benchmark):
+    n = 10
+    model = PaperTaskModel()
+    adag = build_blast2cap3_adag(n, model=model)
+
+    # -- Fig. 2 structure ---------------------------------------------
+    assert len(adag) == 6 + n
+    edges = adag.edges()
+    for i in range(1, n + 1):
+        assert ("split", f"run_cap3_{i}") in edges
+        assert ("create_transcript_list", f"run_cap3_{i}") in edges
+        assert (f"run_cap3_{i}", "merge_joined") in edges
+        assert (f"run_cap3_{i}", "merge_unjoined") in edges
+    assert ("merge_joined", "concat_final") in edges
+    assert ("merge_unjoined", "concat_final") in edges
+    assert {f.name for f in adag.external_inputs()} == {
+        "transcripts.fasta", "alignments.out",
+    }
+
+    # -- planning both sites: Fig. 3 = Fig. 2 + setup decoration -------
+    sites, tc, rc = default_catalogs()
+    campus = plan(adag, site_name="sandhills", sites=sites,
+                  transformations=tc, replicas=rc,
+                  options=PlannerOptions(retries=3))
+    grid = plan(adag, site_name="osg", sites=sites,
+                transformations=tc, replicas=rc,
+                options=PlannerOptions(retries=3))
+    assert set(campus.dag.jobs) == set(grid.dag.jobs)
+    assert set(campus.dag.edges()) == set(grid.dag.edges())
+    campus_setup = {m for m, j in campus.dag.jobs.items() if j.needs_setup}
+    grid_setup = {m for m, j in grid.dag.jobs.items() if j.needs_setup}
+    assert campus_setup == set()
+    assert grid_setup == set(grid.job_map.values())  # every compute task
+
+    # -- DOT artifacts ---------------------------------------------------
+    RESULTS_DIR.mkdir(exist_ok=True)
+    fig2 = workflow_figure(adag)
+    fig3 = workflow_figure(adag, osg=True)
+    fig2.write(RESULTS_DIR / "fig2_sandhills.dot")
+    fig3.write(RESULTS_DIR / "fig3_osg.dot")
+    assert fig2.node_count == fig3.node_count
+    assert "color=red" in fig3.render()
+    assert "color=red" not in fig2.render()
+
+    # benchmark: DAX build + plan at the paper's largest n.
+    def build_and_plan():
+        big = build_blast2cap3_adag(500, model=model)
+        plan(big, site_name="osg", sites=sites, transformations=tc,
+             replicas=rc, options=PlannerOptions(retries=3))
+
+    benchmark(build_and_plan)

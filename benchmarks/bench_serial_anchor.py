@@ -1,0 +1,59 @@
+"""§V-B anchor — the 100-hour serial run, and the model's calibration.
+
+Checks that every quantity the performance model is *fitted* to stays
+within tolerance of the paper's text, so drift in the model shows up
+here before it silently distorts the figure benches.
+"""
+
+from conftest import write_result
+
+from repro.perfmodel.calibration import anchors
+from repro.perfmodel.task_models import PaperTaskModel
+from repro.util.tables import Table
+from repro.util.units import format_duration
+
+
+def test_calibration_anchors(paper_model, benchmark):
+    a = anchors()
+    serial = paper_model.serial_walltime()
+    n10_max = max(paper_model.partition_runtimes(10))
+    plateau_max = {
+        n: max(paper_model.partition_runtimes(n)) for n in (100, 300, 500)
+    }
+
+    table = Table(
+        ["anchor", "paper", "model", "error"],
+        title="Calibration anchors (paper text vs fitted model)",
+    )
+    table.add_row(
+        "serial wall time",
+        f"{a.serial_walltime_s:.0f} s (100 h)",
+        f"{serial:.0f} s ({format_duration(serial)})",
+        f"{100 * abs(serial - a.serial_walltime_s) / a.serial_walltime_s:.1f}%",
+    )
+    table.add_row(
+        "largest run_cap3 task at n=10",
+        f"~{a.sandhills_n10_s:.0f} s",
+        f"{n10_max:.0f} s",
+        f"{100 * abs(n10_max - a.sandhills_n10_s) / a.sandhills_n10_s:.1f}%",
+    )
+    for n, value in plateau_max.items():
+        table.add_row(
+            f"largest run_cap3 task at n={n}",
+            f"~{a.sandhills_plateau_s:.0f} s",
+            f"{value:.0f} s",
+            f"{100 * abs(value - a.sandhills_plateau_s) / a.sandhills_plateau_s:.1f}%",
+        )
+    write_result("serial_anchor", table.render())
+
+    assert abs(serial - a.serial_walltime_s) / a.serial_walltime_s < 0.05
+    assert abs(n10_max - a.sandhills_n10_s) / a.sandhills_n10_s < 0.20
+    for value in plateau_max.values():
+        assert 0.6 * a.sandhills_plateau_s < value < 1.4 * a.sandhills_plateau_s
+
+    # benchmark: the model's hot path (cost generation + partitioning).
+    def regenerate():
+        model = PaperTaskModel(seed=9)  # different seed defeats the cache
+        model.partition_runtimes(500)
+
+    benchmark(regenerate)

@@ -1,0 +1,104 @@
+"""Engineering microbenchmarks of the substrates.
+
+Not a paper figure — these keep the building blocks honest: alignment
+kernel throughput, BLASTX query latency, CAP3 assembly, the
+discrete-event engine's event rate, and DAGMan scheduling overhead.
+"""
+
+import random
+
+import pytest
+
+from repro.bio.alignment import local_align, overlap_align
+from repro.bio.fasta import FastaRecord
+from repro.bio.matrices import dna_matrix
+from repro.blast.blastx import blastx
+from repro.blast.database import ProteinDatabase
+from repro.cap3.assembler import assemble
+from repro.dagman.dag import Dag, DagJob
+from repro.dagman.scheduler import DagmanScheduler
+from repro.sim.cluster import CampusCluster
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+def random_dna(rng, n):
+    return "".join(rng.choice("ACGT") for _ in range(n))
+
+
+def test_bench_local_alignment_500bp(benchmark):
+    rng = random.Random(1)
+    a, b = random_dna(rng, 500), random_dna(rng, 500)
+    result = benchmark(lambda: local_align(a, b, matrix=dna_matrix(), gap=-4))
+
+
+def test_bench_overlap_alignment_500bp(benchmark):
+    rng = random.Random(2)
+    genome = random_dna(rng, 800)
+    a, b = genome[:500], genome[300:]
+    res = benchmark(lambda: overlap_align(a, b))
+    assert res.identity > 0.9
+
+
+def test_bench_blastx_query(benchmark):
+    from repro.datagen.proteins import random_protein_db
+    from repro.datagen.transcripts import generate_transcriptome
+
+    proteins = random_protein_db(10, seed=3)
+    transcriptome = generate_transcriptome(proteins, seed=4)
+    db = ProteinDatabase(records=proteins)
+    query = transcriptome.transcripts[0]
+    hits = benchmark(lambda: blastx(query, db))
+    assert hits
+
+
+def test_bench_cap3_twenty_reads(benchmark):
+    rng = random.Random(5)
+    genome = random_dna(rng, 1500)
+    reads = [
+        FastaRecord(id=f"r{i}", seq=genome[s : s + 300])
+        for i, s in enumerate(range(0, 1201, 60))
+    ]
+    result = benchmark(lambda: assemble(reads))
+    assert result.contigs
+
+
+def test_bench_sim_engine_100k_events(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 100_000
+
+
+def test_bench_dagman_1000_job_bag(benchmark):
+    def run():
+        dag = Dag()
+        for i in range(1000):
+            dag.add_job(DagJob(name=f"j{i}", transformation="t", runtime=100))
+        sim = Simulator()
+        env = CampusCluster(sim, streams=RngStreams(seed=0))
+        result = DagmanScheduler(dag, env).run()
+        assert result.success
+        return result
+
+    benchmark(run)
+
+
+def test_bench_paper_scale_osg_simulation(benchmark):
+    from repro.core.workflow_factory import simulate_paper_run
+
+    def run():
+        result, _ = simulate_paper_run(500, "osg", seed=0)
+        assert result.success
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""The paper's headline experiment, at paper scale, in simulation.
+
+Runs the blast2cap3 workflow on the Sandhills campus-cluster model and
+the OSG opportunistic-grid model for n ∈ {10, 100, 300, 500}, prints the
+Fig. 4 wall-time comparison and a per-task breakdown for one
+configuration (Fig. 5's ingredients), and regenerates the Fig. 2/3 DAG
+drawings as DOT files.
+
+Run:  python examples/campus_vs_osg.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.core.workflow_factory import (
+    build_blast2cap3_adag,
+    simulate_paper_run,
+    workflow_figure,
+)
+from repro.perfmodel.task_models import PaperTaskModel
+from repro.util.tables import Table
+from repro.util.units import format_duration
+from repro.wms.statistics import per_transformation, summarize
+
+
+def main() -> None:
+    model = PaperTaskModel()
+    serial = model.serial_walltime()
+    ns = (10, 100, 300, 500)
+
+    print(f"serial blast2cap3 (modelled): {format_duration(serial)}")
+    print()
+
+    table = Table(
+        ["n", "sandhills wall (s)", "osg wall (s)",
+         "sandhills reduction", "osg retries"],
+        title="Fig. 4 — workflow wall time by platform and cluster count",
+    )
+    per_task_example = None
+    for n in ns:
+        campus, _ = simulate_paper_run(n, "sandhills", seed=1, model=model)
+        grid, _ = simulate_paper_run(n, "osg", seed=1, model=model)
+        assert campus.success and grid.success
+        campus_wall = campus.trace.wall_time()
+        grid_wall = grid.trace.wall_time()
+        table.add_row(
+            n,
+            round(campus_wall),
+            round(grid_wall),
+            f"{100 * (1 - campus_wall / serial):.1f}%",
+            grid.trace.retry_count,
+        )
+        if n == 100:
+            per_task_example = (campus.trace, grid.trace)
+    print(table.render())
+    print()
+
+    campus_trace, grid_trace = per_task_example
+    breakdown = Table(
+        ["transformation", "platform", "mean kickstart (s)",
+         "mean waiting (s)", "mean download/install (s)"],
+        title="Fig. 5 (n=100) — per-task running time breakdown",
+    )
+    for platform, trace in (("sandhills", campus_trace), ("osg", grid_trace)):
+        for t in per_transformation(trace):
+            breakdown.add_row(
+                t.transformation, platform,
+                round(t.mean_kickstart, 1),
+                round(t.mean_waiting, 1),
+                round(t.mean_download_install, 1),
+            )
+    print(breakdown.render())
+    print()
+
+    stats = summarize(grid_trace)
+    print(f"OSG n=100: {stats.failed_attempts} failed/evicted attempts, "
+          f"{stats.retries} DAGMan retries, speedup {stats.speedup:.1f}x")
+
+    outdir = Path(tempfile.mkdtemp(prefix="blast2cap3-figs-"))
+    adag = build_blast2cap3_adag(10, model=model)
+    workflow_figure(adag).write(outdir / "fig2_sandhills.dot")
+    workflow_figure(adag, osg=True).write(outdir / "fig3_osg.dot")
+    print(f"\nFig. 2/3 DAGs written to {outdir}/fig2_sandhills.dot and fig3_osg.dot")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — reproduction of Pavlovikj et al., IPDPSW 2014.
+
+*A Comparison of a Campus Cluster and Open Science Grid Platforms for
+Protein-Guided Assembly using Pegasus Workflow Management System.*
+
+The most-used entry points, re-exported for convenience; see the
+subpackages for the full APIs:
+
+* :mod:`repro.core` — blast2cap3 and the workflow factory,
+* :mod:`repro.wms` / :mod:`repro.dagman` — the workflow system,
+* :mod:`repro.sim` — the platform simulators,
+* :mod:`repro.bio` / :mod:`repro.blast` / :mod:`repro.cap3` — the
+  bioinformatics substrates,
+* :mod:`repro.datagen` / :mod:`repro.perfmodel` /
+  :mod:`repro.experiments` — data, calibration and sweeps.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.blast2cap3 import Blast2Cap3Result, blast2cap3_serial
+from repro.core.workflow_factory import (
+    build_blast2cap3_adag,
+    run_local,
+    simulate_paper_run,
+)
+from repro.datagen.workload import generate_blast2cap3_workload
+from repro.wms.statistics import render_report, summarize
+
+__all__ = [
+    "__version__",
+    "Blast2Cap3Result",
+    "blast2cap3_serial",
+    "build_blast2cap3_adag",
+    "run_local",
+    "simulate_paper_run",
+    "generate_blast2cap3_workload",
+    "summarize",
+    "render_report",
+]

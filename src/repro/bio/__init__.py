@@ -1,0 +1,43 @@
+"""Sequence substrate: the Biopython-equivalent layer blast2cap3 needs.
+
+Provides DNA/protein sequence primitives (:mod:`repro.bio.seq`),
+FASTA/FASTQ I/O (:mod:`repro.bio.fasta`, :mod:`repro.bio.fastq`),
+read quality processing for the preprocessing pipeline stage
+(:mod:`repro.bio.quality`), substitution matrices
+(:mod:`repro.bio.matrices`), pairwise alignment kernels
+(:mod:`repro.bio.alignment`), k-mer indexing (:mod:`repro.bio.kmer`),
+and Karlin–Altschul alignment statistics (:mod:`repro.bio.stats`).
+"""
+
+from repro.bio.seq import (
+    CODON_TABLE,
+    reverse_complement,
+    six_frame_translations,
+    translate,
+)
+from repro.bio.fasta import FastaRecord, read_fasta, write_fasta
+from repro.bio.fastq import FastqRecord, read_fastq, write_fastq
+from repro.bio.alignment import global_align, local_align, overlap_align
+from repro.bio.affine import affine_global, affine_local, affine_overlap
+from repro.bio.orf import find_orfs, longest_orf
+
+__all__ = [
+    "CODON_TABLE",
+    "reverse_complement",
+    "translate",
+    "six_frame_translations",
+    "FastaRecord",
+    "read_fasta",
+    "write_fasta",
+    "FastqRecord",
+    "read_fastq",
+    "write_fastq",
+    "global_align",
+    "local_align",
+    "overlap_align",
+    "affine_global",
+    "affine_local",
+    "affine_overlap",
+    "find_orfs",
+    "longest_orf",
+]

@@ -1,0 +1,148 @@
+"""FASTQ reading and writing (Sanger/Illumina-1.8 Phred+33 quality).
+
+Used by the Fig. 1 transcriptome pipeline example: the preprocessing
+stage consumes raw Illumina-like paired reads, which our data generator
+emits as FASTQ.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+__all__ = [
+    "FastqRecord",
+    "read_fastq",
+    "write_fastq",
+    "phred_to_quality",
+    "quality_to_phred",
+]
+
+#: ASCII offset for Sanger / Illumina 1.8+ quality encoding.
+PHRED_OFFSET = 33
+
+#: Highest Phred score representable in the encoding.
+MAX_PHRED = 93
+
+
+def phred_to_quality(scores: Iterable[int]) -> str:
+    """Encode integer Phred scores as a quality string.
+
+    >>> phred_to_quality([0, 40])
+    '!I'
+    """
+    chars = []
+    for q in scores:
+        if not 0 <= q <= MAX_PHRED:
+            raise ValueError(f"Phred score out of range: {q}")
+        chars.append(chr(q + PHRED_OFFSET))
+    return "".join(chars)
+
+
+def quality_to_phred(quality: str) -> list[int]:
+    """Decode a quality string into integer Phred scores.
+
+    >>> quality_to_phred('!I')
+    [0, 40]
+    """
+    scores = []
+    for c in quality:
+        q = ord(c) - PHRED_OFFSET
+        if not 0 <= q <= MAX_PHRED:
+            raise ValueError(f"quality character out of range: {c!r}")
+        scores.append(q)
+    return scores
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ entry; ``quality`` must match ``seq`` in length."""
+
+    id: str
+    seq: str
+    quality: str
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("FASTQ record id must be non-empty")
+        if len(self.seq) != len(self.quality):
+            raise ValueError(
+                f"sequence/quality length mismatch for {self.id!r}: "
+                f"{len(self.seq)} vs {len(self.quality)}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def phred(self) -> list[int]:
+        """Integer Phred scores for this read."""
+        return quality_to_phred(self.quality)
+
+    def mean_quality(self) -> float:
+        """Arithmetic mean Phred score (0.0 for an empty read)."""
+        scores = self.phred()
+        return sum(scores) / len(scores) if scores else 0.0
+
+    def format(self) -> str:
+        """Render as four-line FASTQ text."""
+        header = self.description if self.description else self.id
+        return f"@{header}\n{self.seq}\n+\n{self.quality}\n"
+
+
+def _open_text(source: str | Path | TextIO) -> tuple[TextIO, bool]:
+    if isinstance(source, (str, Path)):
+        from repro.util.iolib import open_text_auto
+
+        return open_text_auto(source), True
+    return source, False
+
+
+def read_fastq(source: str | Path | TextIO) -> Iterator[FastqRecord]:
+    """Stream :class:`FastqRecord` objects from four-line FASTQ."""
+    handle, owned = _open_text(source)
+    try:
+        while True:
+            header = handle.readline()
+            if not header:
+                return
+            header = header.rstrip("\n")
+            if not header.strip():
+                continue
+            if not header.startswith("@"):
+                raise ValueError(f"expected '@' header, got {header!r}")
+            seq = handle.readline().rstrip("\n")
+            plus = handle.readline().rstrip("\n")
+            quality = handle.readline().rstrip("\n")
+            if not plus.startswith("+"):
+                raise ValueError(f"expected '+' separator, got {plus!r}")
+            desc = header[1:].strip()
+            if not desc:
+                raise ValueError("empty FASTQ header")
+            yield FastqRecord(
+                id=desc.split()[0], seq=seq, quality=quality, description=desc
+            )
+    finally:
+        if owned:
+            handle.close()
+
+
+def write_fastq(
+    dest: str | Path | TextIO, records: Iterable[FastqRecord]
+) -> int:
+    """Write records as FASTQ; returns the count. Path writes are atomic
+    and ``.gz`` paths are compressed."""
+    if isinstance(dest, (str, Path)):
+        buf = io.StringIO()
+        count = write_fastq(buf, records)
+        from repro.util.iolib import write_text_auto
+
+        write_text_auto(dest, buf.getvalue())
+        return count
+    count = 0
+    for record in records:
+        dest.write(record.format())
+        count += 1
+    return count

@@ -1,0 +1,122 @@
+"""Open reading frame (ORF) finding.
+
+Assembly validation (the last step of the paper's Fig. 1 pipeline)
+checks that assembled transcripts actually code: a well-assembled
+transcript carries a long ORF, while fragmented or chimeric ones don't.
+This module scans all six frames for START..STOP spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.bio.seq import CODON_TABLE, START_CODONS, reverse_complement
+
+__all__ = ["Orf", "find_orfs", "longest_orf"]
+
+
+@dataclass(frozen=True)
+class Orf:
+    """One open reading frame.
+
+    ``start``/``end`` are 1-based inclusive forward-strand DNA
+    coordinates of the coding span (start codon through stop codon, or
+    transcript edge for open-ended ORFs); minus-frame ORFs have
+    ``start > end``, BLAST-style. ``protein`` excludes the stop.
+    """
+
+    frame: int
+    start: int
+    end: int
+    protein: str
+    has_stop: bool
+
+    def __post_init__(self) -> None:
+        if self.frame == 0 or abs(self.frame) > 3:
+            raise ValueError("frame must be in {±1, ±2, ±3}")
+        if not self.protein:
+            raise ValueError("ORF protein must be non-empty")
+
+    def __len__(self) -> int:
+        return len(self.protein)
+
+
+def _scan_frame(seq: str, offset: int, *, require_start: bool) -> Iterator[tuple[int, int, str, bool]]:
+    """Yield (codon_start_idx, codon_end_idx, protein, has_stop) per ORF
+    in one forward frame of ``seq`` (0-based codon-grid indices)."""
+    n = len(seq)
+    current_start: int | None = None
+    peptide: list[str] = []
+    i = offset
+    while i + 3 <= n:
+        codon = seq[i : i + 3]
+        aa = CODON_TABLE.get(codon, "X")
+        if current_start is None:
+            starts_here = codon in START_CODONS or not require_start
+            if starts_here and aa != "*":
+                current_start = i
+                peptide = [aa]
+        else:
+            if aa == "*":
+                yield current_start, i + 3, "".join(peptide), True
+                current_start = None
+                peptide = []
+            else:
+                peptide.append(aa)
+        i += 3
+    if current_start is not None and peptide:
+        yield current_start, i, "".join(peptide), False
+
+
+def find_orfs(
+    seq: str,
+    *,
+    min_length_aa: int = 30,
+    require_start: bool = True,
+) -> list[Orf]:
+    """All ORFs of at least ``min_length_aa`` residues, six frames.
+
+    ``require_start=False`` also reports stop-to-stop open frames
+    (useful for transcript fragments whose 5' end is missing).
+    Results are sorted longest-first.
+    """
+    if min_length_aa < 1:
+        raise ValueError("min_length_aa must be >= 1")
+    seq = seq.upper()
+    n = len(seq)
+    orfs: list[Orf] = []
+    for offset in range(3):
+        for lo, hi, protein, has_stop in _scan_frame(
+            seq, offset, require_start=require_start
+        ):
+            if len(protein) < min_length_aa:
+                continue
+            orfs.append(
+                Orf(frame=offset + 1, start=lo + 1, end=hi,
+                    protein=protein, has_stop=has_stop)
+            )
+    rc = reverse_complement(seq)
+    for offset in range(3):
+        for lo, hi, protein, has_stop in _scan_frame(
+            rc, offset, require_start=require_start
+        ):
+            if len(protein) < min_length_aa:
+                continue
+            orfs.append(
+                Orf(
+                    frame=-(offset + 1),
+                    start=n - lo,  # rc index -> forward coordinate
+                    end=n - hi + 1,
+                    protein=protein,
+                    has_stop=has_stop,
+                )
+            )
+    orfs.sort(key=lambda o: -len(o))
+    return orfs
+
+
+def longest_orf(seq: str, **kwargs) -> Orf | None:
+    """The longest ORF, or None if none clears the length floor."""
+    orfs = find_orfs(seq, **kwargs)
+    return orfs[0] if orfs else None

@@ -1,0 +1,123 @@
+"""Read quality processing: the "data cleaning" preprocessing stage.
+
+Fig. 1 of the paper shows a general transcriptome assembly pipeline whose
+preprocessing stage performs data cleaning and filtering (the paper cites
+tools like Sickle/Scythe-style trimmers). This module implements the two
+standard operations those tools perform:
+
+* **quality trimming** — sliding-window trim of low-quality 3' ends, plus
+  hard clipping of leading/trailing bases below a floor; and
+* **filtering** — dropping reads that end up too short or whose mean
+  quality is too low, and masking/dropping excessive ``N`` content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.bio.fastq import FastqRecord
+
+__all__ = ["TrimParams", "trim_record", "quality_filter", "QualityReport"]
+
+
+@dataclass(frozen=True)
+class TrimParams:
+    """Knobs for :func:`trim_record` and :func:`quality_filter`.
+
+    Defaults match common Illumina RNA-seq practice (Q20 window, 50 bp
+    minimum surviving length).
+    """
+
+    window: int = 4
+    min_window_mean: float = 20.0
+    min_base_quality: int = 3
+    min_length: int = 50
+    min_mean_quality: float = 20.0
+    max_n_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.min_length < 1:
+            raise ValueError("min_length must be >= 1")
+        if not 0.0 <= self.max_n_fraction <= 1.0:
+            raise ValueError("max_n_fraction must be in [0, 1]")
+
+
+def trim_record(record: FastqRecord, params: TrimParams = TrimParams()) -> FastqRecord:
+    """Trim a read: hard-clip terminal bases below ``min_base_quality``,
+    then cut the 3' end at the first sliding window whose mean quality
+    falls below ``min_window_mean``.
+
+    Returns a (possibly empty) trimmed record; filtering decisions are
+    left to :func:`quality_filter`.
+    """
+    scores = record.phred()
+    start, end = 0, len(scores)
+    while start < end and scores[start] < params.min_base_quality:
+        start += 1
+    while end > start and scores[end - 1] < params.min_base_quality:
+        end -= 1
+
+    # Sliding 3' window cut, scanning left to right like sickle does.
+    w = params.window
+    cut = end
+    for i in range(start, max(start, end - w + 1)):
+        window = scores[i : i + w]
+        if sum(window) / len(window) < params.min_window_mean:
+            cut = i
+            break
+    end = min(end, cut)
+    if start >= end:
+        start = end = 0
+    return FastqRecord(
+        id=record.id,
+        seq=record.seq[start:end],
+        quality=record.quality[start:end],
+        description=record.description,
+    )
+
+
+@dataclass
+class QualityReport:
+    """Counters emitted by :func:`quality_filter`."""
+
+    total: int = 0
+    passed: int = 0
+    too_short: int = 0
+    low_quality: int = 0
+    too_many_n: int = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.total - self.passed
+
+
+def quality_filter(
+    records: Iterable[FastqRecord],
+    params: TrimParams = TrimParams(),
+    *,
+    report: QualityReport | None = None,
+) -> Iterator[FastqRecord]:
+    """Trim and filter a read stream, yielding surviving reads.
+
+    Pass a :class:`QualityReport` to collect drop counters; the report is
+    filled in-place as the stream is consumed.
+    """
+    stats = report if report is not None else QualityReport()
+    for record in records:
+        stats.total += 1
+        trimmed = trim_record(record, params)
+        if len(trimmed) < params.min_length:
+            stats.too_short += 1
+            continue
+        if trimmed.mean_quality() < params.min_mean_quality:
+            stats.low_quality += 1
+            continue
+        n_fraction = trimmed.seq.upper().count("N") / len(trimmed)
+        if n_fraction > params.max_n_fraction:
+            stats.too_many_n += 1
+            continue
+        stats.passed += 1
+        yield trimmed

@@ -1,0 +1,28 @@
+"""A BLASTX-like translated protein search engine.
+
+blast2cap3 consumes the *tabular output* of BLASTX (transcripts aligned
+against a close-relative protein database). This package implements the
+same algorithmic family from scratch:
+
+* :mod:`repro.blast.database` — an indexed protein database,
+* :mod:`repro.blast.seeds` — neighborhood-word seeding (two-hit heuristic),
+* :mod:`repro.blast.extend` — ungapped X-drop and gapped extension,
+* :mod:`repro.blast.blastx` — the six-frame translated search driver,
+* :mod:`repro.blast.tabular` — BLAST ``-outfmt 6`` records and I/O.
+"""
+
+from repro.blast.database import ProteinDatabase
+from repro.blast.blastx import BlastXParams, blastx, blastx_many
+from repro.blast.filter import mask_low_complexity
+from repro.blast.tabular import TabularHit, read_tabular, write_tabular
+
+__all__ = [
+    "ProteinDatabase",
+    "BlastXParams",
+    "blastx",
+    "blastx_many",
+    "mask_low_complexity",
+    "TabularHit",
+    "read_tabular",
+    "write_tabular",
+]

@@ -1,0 +1,105 @@
+"""Neighborhood-word seeding and the two-hit heuristic.
+
+Classic protein BLAST seeding: slide a window of ``word_size`` over the
+query; a database word *seeds* an extension when its similarity score
+against the query word reaches the neighborhood threshold ``T``. We
+vectorise this by scoring each query word against the database's whole
+distinct-word table at once (``sum_k sub[q_k, W[:, k]]`` is a couple of
+fancy-indexing operations), instead of enumerating the 20^3 neighborhood.
+
+The two-hit refinement (Altschul et al. 1997) only triggers extension
+when two non-overlapping hits fall on the same (subject, diagonal) within
+``two_hit_window`` residues — this is what makes full-database scans
+tractable, and we keep it as the default.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.blast.database import ProteinDatabase
+
+__all__ = ["SeedHit", "find_seed_hits", "two_hit_filter"]
+
+
+@dataclass(frozen=True)
+class SeedHit:
+    """A word hit: query offset / subject index / subject offset."""
+
+    query_offset: int
+    subject_index: int
+    subject_offset: int
+
+    @property
+    def diagonal(self) -> int:
+        """Subject offset minus query offset; constant along a diagonal."""
+        return self.subject_offset - self.query_offset
+
+
+def find_seed_hits(
+    query_codes: np.ndarray,
+    database: ProteinDatabase,
+    *,
+    threshold: int = 11,
+) -> Iterator[SeedHit]:
+    """Yield every neighborhood word hit of ``query_codes`` in the database.
+
+    ``query_codes`` is an encoded protein (``matrix.encode`` output).
+    ``threshold`` is BLAST's ``T`` parameter: the minimum summed
+    substitution score between the query word and the database word.
+    """
+    k = database.word_size
+    words = database.word_codes
+    if len(query_codes) < k or len(words) == 0:
+        return
+    sub = database.matrix.matrix
+
+    # Score every query window against every distinct database word.
+    for q_off in range(len(query_codes) - k + 1):
+        window = query_codes[q_off : q_off + k]
+        scores = sub[window[0], words[:, 0]].astype(np.int32)
+        for j in range(1, k):
+            scores += sub[window[j], words[:, j]]
+        for word_idx in np.nonzero(scores >= threshold)[0]:
+            for subject_index, s_off in database.word_occurrences[word_idx]:
+                yield SeedHit(q_off, subject_index, int(s_off))
+
+
+def two_hit_filter(
+    hits: Iterator[SeedHit] | list[SeedHit],
+    *,
+    word_size: int,
+    window: int = 40,
+) -> list[SeedHit]:
+    """Keep only hits confirmed by a second same-diagonal hit nearby.
+
+    For each (subject, diagonal) we sort hits by subject offset and emit
+    the *later* member of every pair of non-overlapping hits whose
+    separation is at most ``window`` residues — the position BLAST starts
+    its ungapped extension from. Each qualifying hit is emitted once.
+    """
+    by_diag: dict[tuple[int, int], list[SeedHit]] = defaultdict(list)
+    for hit in hits:
+        by_diag[(hit.subject_index, hit.diagonal)].append(hit)
+
+    confirmed: list[SeedHit] = []
+    for diag_hits in by_diag.values():
+        diag_hits.sort(key=lambda h: h.subject_offset)
+        last_off: int | None = None
+        for hit in diag_hits:
+            if last_off is None:
+                last_off = hit.subject_offset
+                continue
+            gap = hit.subject_offset - last_off
+            if gap < word_size:
+                # Overlaps the previous hit: not independent evidence.
+                # Keep waiting for a non-overlapping companion.
+                continue
+            if gap <= window:
+                confirmed.append(hit)
+            last_off = hit.subject_offset
+    return confirmed

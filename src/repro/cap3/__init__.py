@@ -1,0 +1,25 @@
+"""A CAP3-like overlap–layout–consensus assembler.
+
+blast2cap3 hands each cluster of transcripts to CAP3 and collects the
+merged contigs plus the unmerged "singlets". This package implements the
+same contract from scratch:
+
+* :mod:`repro.cap3.overlap` — candidate detection (shared k-mers) and
+  dovetail/containment overlap alignment,
+* :mod:`repro.cap3.graph` — the overlap graph and greedy layout,
+* :mod:`repro.cap3.consensus` — per-column majority consensus calling,
+* :mod:`repro.cap3.assembler` — the public :func:`assemble` API.
+"""
+
+from repro.cap3.assembler import AssemblyResult, Cap3Params, Contig, assemble
+from repro.cap3.report import format_ace, format_info, write_ace
+
+__all__ = [
+    "assemble",
+    "AssemblyResult",
+    "Cap3Params",
+    "Contig",
+    "format_ace",
+    "format_info",
+    "write_ace",
+]

@@ -1,0 +1,58 @@
+"""Consensus calling over a layout.
+
+CAP3 builds a multiple alignment from the pairwise overlaps and emits a
+per-column consensus. Our layouts place each read at an integer offset
+(indels inside near-identical transcript overlaps are rare enough that
+column voting over offset-placed reads reproduces the merge behaviour
+blast2cap3 relies on; dissenting bases are outvoted column-wise).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.bio.seq import reverse_complement
+from repro.cap3.graph import Layout
+
+__all__ = ["call_consensus"]
+
+_BASE_ORDER = "ACGTN"
+_BASE_INDEX = {b: i for i, b in enumerate(_BASE_ORDER)}
+
+
+def call_consensus(layout: Layout, reads: Mapping[str, str]) -> str:
+    """Majority-vote consensus of a layout.
+
+    Each column takes the most frequent base among covering reads; ties
+    go to the earlier-placed read (achieved by a half-vote bonus for the
+    first covering read). ``N`` never wins a column unless it is the
+    only evidence.
+    """
+    if not layout.reads:
+        return ""
+
+    spans: list[tuple[int, str]] = []
+    for placed in layout.reads:
+        seq = reads[placed.read_id].upper()
+        if placed.flipped:
+            seq = reverse_complement(seq)
+        spans.append((placed.offset, seq))
+
+    total_len = max(off + len(seq) for off, seq in spans)
+    # votes[column, base]; N gets a tiny weight so real bases dominate.
+    votes = np.zeros((total_len, len(_BASE_ORDER)), dtype=np.float64)
+    for rank, (off, seq) in enumerate(spans):
+        codes = np.array(
+            [_BASE_INDEX.get(c, _BASE_INDEX["N"]) for c in seq], dtype=np.intp
+        )
+        weight = 1.0 + (0.5 if rank == 0 else 0.0) / (rank + 1)
+        cols = np.arange(off, off + len(seq))
+        base_weight = np.where(codes == _BASE_INDEX["N"], 1e-3, weight)
+        np.add.at(votes, (cols, codes), base_weight)
+
+    best = votes.argmax(axis=1)
+    covered = votes.sum(axis=1) > 0
+    consensus = np.array(list(_BASE_ORDER))[best]
+    return "".join(consensus[covered])

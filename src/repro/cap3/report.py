@@ -1,0 +1,86 @@
+"""Assembly reports in CAP3's output styles.
+
+CAP3 writes three artifacts next to its input: the contig FASTA, an
+``.ace`` assembly file (the consed interchange format: ``AS``/``CO``/
+``AF``/``RD`` records) and a human-readable ``.info`` summary. This
+module renders the latter two from an :class:`AssemblyResult`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+from repro.bio.seq import reverse_complement
+from repro.cap3.assembler import AssemblyResult
+from repro.util.iolib import atomic_write
+
+__all__ = ["format_ace", "write_ace", "format_info"]
+
+_WRAP = 60
+
+
+def _wrap(seq: str) -> str:
+    return "\n".join(seq[i : i + _WRAP] for i in range(0, len(seq), _WRAP))
+
+
+def format_ace(result: AssemblyResult, reads: Mapping[str, str]) -> str:
+    """Render the assembly as ACE text.
+
+    ``reads`` maps read id → original sequence (needed for ``RD``
+    records). Singlets are not part of ACE output, matching CAP3.
+    """
+    total_reads = sum(len(c.members) for c in result.contigs)
+    blocks = [f"AS {len(result.contigs)} {total_reads}", ""]
+    for contig in result.contigs:
+        placements = contig.placements or tuple(
+            (rid, 0, False) for rid in contig.members
+        )
+        blocks.append(
+            f"CO {contig.id} {len(contig.seq)} {len(placements)} 0 U"
+        )
+        blocks.append(_wrap(contig.seq))
+        blocks.append("")
+        for read_id, offset, flipped in placements:
+            strand = "C" if flipped else "U"
+            # ACE offsets are 1-based relative to the consensus.
+            blocks.append(f"AF {read_id} {strand} {offset + 1}")
+        blocks.append("")
+        for read_id, _offset, flipped in placements:
+            seq = reads[read_id]
+            if flipped:
+                seq = reverse_complement(seq)
+            blocks.append(f"RD {read_id} {len(seq)} 0 0")
+            blocks.append(_wrap(seq))
+            blocks.append(f"QA 1 {len(seq)} 1 {len(seq)}")
+            blocks.append("")
+    return "\n".join(blocks).rstrip() + "\n"
+
+
+def write_ace(
+    result: AssemblyResult, reads: Mapping[str, str], path: str | Path
+) -> Path:
+    """Write :func:`format_ace` output atomically."""
+    return atomic_write(path, format_ace(result, reads))
+
+
+def format_info(result: AssemblyResult) -> str:
+    """The ``.info``-style membership summary CAP3 prints.
+
+    One block per contig listing its reads, then the singlet roster.
+    """
+    lines = ["******************* Contig list *******************"]
+    for contig in result.contigs:
+        lines.append(f"{contig.id}  length={len(contig.seq)}  "
+                     f"reads={len(contig.members)}")
+        placements = contig.placements or tuple(
+            (rid, 0, False) for rid in contig.members
+        )
+        for read_id, offset, flipped in sorted(placements, key=lambda p: p[1]):
+            strand = "-" if flipped else "+"
+            lines.append(f"    {read_id} {strand} at {offset}")
+    lines.append("")
+    lines.append(f"Singlets: {len(result.singlets)}")
+    for record in result.singlets:
+        lines.append(f"    {record.id} length={len(record)}")
+    return "\n".join(lines) + "\n"

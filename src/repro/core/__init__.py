@@ -1,0 +1,27 @@
+"""blast2cap3: protein-guided assembly — the paper's subject system.
+
+The serial algorithm (faithful to Vince Buffalo's original script):
+
+1. load the assembled transcripts (``transcripts.fasta``),
+2. parse the BLASTX tabular alignments (``alignments.out``),
+3. cluster transcripts by shared best protein hit,
+4. pass each cluster to CAP3 and collect the merged contigs,
+5. concatenate contigs with every transcript that joined nothing.
+
+The workflow decomposition (Figs. 2–3 of the paper) re-expresses steps
+3–5 as a DAG whose ``run_cap3`` tasks over *n* cluster partitions run in
+parallel; :mod:`repro.core.workflow_factory` builds those DAGs for the
+Sandhills and OSG variants.
+"""
+
+from repro.core.clusters import ProteinCluster, cluster_transcripts
+from repro.core.blast2cap3 import Blast2Cap3Result, blast2cap3_serial
+from repro.core.partition import partition_clusters
+
+__all__ = [
+    "ProteinCluster",
+    "cluster_transcripts",
+    "Blast2Cap3Result",
+    "blast2cap3_serial",
+    "partition_clusters",
+]

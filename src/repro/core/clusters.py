@@ -1,0 +1,102 @@
+"""Clustering transcripts by shared protein hit.
+
+The heart of protein-guided assembly: BLASTX aligns each transcript
+against a close-relative protein database, and transcripts whose *best*
+hit is the same protein are assumed to be fragments (or redundant
+copies) of the same gene's transcript — so they are merged together with
+CAP3 rather than with the whole dataset at once. This both bounds CAP3's
+memory/time (the paper's motivation) and avoids artificially fused
+sequences between unrelated transcripts that merely share repeats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.blast.tabular import TabularHit
+
+__all__ = ["ProteinCluster", "cluster_transcripts", "best_hits"]
+
+
+@dataclass(frozen=True)
+class ProteinCluster:
+    """Transcripts that share a common best protein hit.
+
+    ``protein_id`` is the BLASTX subject; ``transcript_ids`` preserves
+    first-seen order (deterministic given the alignment file order).
+    """
+
+    protein_id: str
+    transcript_ids: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.protein_id:
+            raise ValueError("protein_id must be non-empty")
+        if len(set(self.transcript_ids)) != len(self.transcript_ids):
+            raise ValueError("duplicate transcript in cluster")
+
+    def __len__(self) -> int:
+        return len(self.transcript_ids)
+
+    @property
+    def is_mergeable(self) -> bool:
+        """Only clusters with >= 2 transcripts are worth a CAP3 run."""
+        return len(self.transcript_ids) >= 2
+
+
+def best_hits(
+    hits: Iterable[TabularHit],
+    *,
+    evalue_cutoff: float = 1e-5,
+) -> dict[str, TabularHit]:
+    """Best (lowest e-value, then highest bit score) hit per transcript.
+
+    Hits above ``evalue_cutoff`` are ignored entirely, matching
+    blast2cap3's pre-filtering of the alignment file.
+    """
+    best: dict[str, TabularHit] = {}
+    for hit in hits:
+        if hit.evalue > evalue_cutoff:
+            continue
+        current = best.get(hit.qseqid)
+        if (
+            current is None
+            or (hit.evalue, -hit.bitscore) < (current.evalue, -current.bitscore)
+        ):
+            best[hit.qseqid] = hit
+    return best
+
+
+def cluster_transcripts(
+    hits: Iterable[TabularHit],
+    *,
+    evalue_cutoff: float = 1e-5,
+    known_transcripts: Sequence[str] | None = None,
+) -> tuple[list[ProteinCluster], list[str]]:
+    """Group transcripts into protein clusters.
+
+    Returns ``(clusters, unaligned)``: one cluster per protein that is
+    some transcript's best hit, plus (when ``known_transcripts`` is
+    given) the transcripts that had no acceptable hit at all — those
+    bypass CAP3 and are carried to the output unmerged.
+
+    Cluster order follows the first appearance of each protein in the
+    hit stream, which makes partitioning deterministic.
+    """
+    chosen = best_hits(hits, evalue_cutoff=evalue_cutoff)
+
+    by_protein: dict[str, list[str]] = {}
+    for transcript_id, hit in chosen.items():
+        by_protein.setdefault(hit.sseqid, []).append(transcript_id)
+
+    clusters = [
+        ProteinCluster(protein_id=pid, transcript_ids=tuple(tids))
+        for pid, tids in by_protein.items()
+    ]
+
+    unaligned: list[str] = []
+    if known_transcripts is not None:
+        aligned = set(chosen)
+        unaligned = [t for t in known_transcripts if t not in aligned]
+    return clusters, unaligned

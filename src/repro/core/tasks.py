@@ -1,0 +1,186 @@
+"""File-level task implementations for the blast2cap3 workflow.
+
+Each function here is one oval in the paper's Fig. 2: it reads input
+files and writes output files, nothing else, so the same callables can
+be driven by the local executor (real runs) or modelled by the
+simulator (paper-scale runs). All functions take explicit paths —
+the workflow planner decides where those paths live.
+
+Task inventory (matching the figure's labels):
+
+* :func:`create_transcript_list` — ``transcripts.fasta`` → ``transcripts_dict.txt``
+* :func:`create_alignment_list` — ``alignments.out`` → ``alignments.list``
+* :func:`split_alignments` — ``alignments.out`` → ``protein_1.txt`` … ``protein_n.txt``
+* :func:`run_cap3` — one partition → ``joined_i.fasta`` + ``merged_i.txt``
+* :func:`merge_joined` — all ``joined_i.fasta`` → ``joined.fasta``
+* :func:`merge_unjoined` — transcripts minus merged ids → ``unjoined.fasta``
+* :func:`concat_final` — joined + unjoined → ``merged_transcriptome.fasta``
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.bio.fasta import read_fasta, write_fasta
+from repro.blast.tabular import read_tabular, write_tabular
+from repro.cap3.assembler import Cap3Params
+from repro.core.blast2cap3 import merge_cluster
+from repro.core.clusters import cluster_transcripts
+from repro.core.partition import Strategy, partition_clusters
+from repro.util.iolib import atomic_write
+
+__all__ = [
+    "create_transcript_list",
+    "create_alignment_list",
+    "split_alignments",
+    "run_cap3",
+    "merge_joined",
+    "merge_unjoined",
+    "concat_final",
+    "TASK_REGISTRY",
+]
+
+
+def create_transcript_list(transcripts_fasta: Path, out_path: Path) -> int:
+    """Materialise the transcript dictionary file.
+
+    The original script builds an in-memory dict of all transcripts; the
+    workflow makes it an explicit artifact (``transcripts_dict.txt``,
+    FASTA content) that every ``run_cap3`` task stages in. Returns the
+    record count.
+    """
+    records = list(read_fasta(transcripts_fasta))
+    return write_fasta(out_path, records)
+
+
+def create_alignment_list(alignments_out: Path, out_path: Path) -> int:
+    """Write the list of transcripts that have protein hits (one id per
+    line, first-seen order). Returns the id count."""
+    seen: dict[str, None] = {}
+    for hit in read_tabular(alignments_out):
+        seen.setdefault(hit.qseqid, None)
+    atomic_write(out_path, "".join(f"{qid}\n" for qid in seen))
+    return len(seen)
+
+
+def split_alignments(
+    alignments_out: Path,
+    out_paths: Sequence[Path],
+    *,
+    evalue_cutoff: float = 1e-5,
+    strategy: Strategy = "round_robin",
+) -> list[int]:
+    """The ``split()`` task: divide the alignment file into ``n`` parts.
+
+    Whole clusters (same best protein hit) stay together. Each output
+    file is itself valid tabular BLAST output. Returns the per-partition
+    hit counts.
+    """
+    hits = list(read_tabular(alignments_out))
+    clusters, _ = cluster_transcripts(hits, evalue_cutoff=evalue_cutoff)
+    groups = partition_clusters(clusters, len(out_paths), strategy=strategy)
+
+    by_query: dict[str, list] = {}
+    for hit in hits:
+        by_query.setdefault(hit.qseqid, []).append(hit)
+
+    counts = []
+    for group, out_path in zip(groups, out_paths):
+        part_hits = []
+        for cluster in group:
+            for tid in cluster.transcript_ids:
+                # Only this cluster's protein's hits matter downstream,
+                # but keeping all of the transcript's hits preserves the
+                # "smaller copies of alignments.out" semantics.
+                part_hits.extend(
+                    h for h in by_query.get(tid, ()) if h.sseqid == cluster.protein_id
+                )
+        counts.append(write_tabular(out_path, part_hits))
+    return counts
+
+
+def run_cap3(
+    transcripts_dict: Path,
+    protein_part: Path,
+    joined_out: Path,
+    merged_ids_out: Path,
+    *,
+    cap3_params: Cap3Params = Cap3Params(),
+    evalue_cutoff: float = 1e-5,
+) -> tuple[int, int]:
+    """Merge every cluster in one partition with CAP3.
+
+    Writes the partition's contigs (``joined_out``) and the ids of
+    transcripts absorbed into contigs (``merged_ids_out``), plus cluster
+    singlets implicitly remain unmerged. Returns
+    ``(contig_count, merged_id_count)``.
+    """
+    transcripts = {r.id: r for r in read_fasta(transcripts_dict)}
+    hits = list(read_tabular(protein_part))
+    clusters, _ = cluster_transcripts(hits, evalue_cutoff=evalue_cutoff)
+
+    contigs = []
+    merged_ids: list[str] = []
+    for cluster in clusters:
+        if not cluster.is_mergeable:
+            continue
+        cluster_contigs, _singlets, merged = merge_cluster(
+            cluster, transcripts, cap3_params
+        )
+        contigs.extend(cluster_contigs)
+        merged_ids.extend(sorted(merged))
+
+    write_fasta(joined_out, contigs)
+    atomic_write(merged_ids_out, "".join(f"{tid}\n" for tid in merged_ids))
+    return len(contigs), len(merged_ids)
+
+
+def merge_joined(joined_parts: Sequence[Path], out_path: Path) -> int:
+    """Concatenate all per-partition contig files. Returns contig count."""
+    records = []
+    for part in joined_parts:
+        records.extend(read_fasta(part))
+    return write_fasta(out_path, records)
+
+
+def merge_unjoined(
+    transcripts_dict: Path,
+    merged_id_files: Sequence[Path],
+    out_path: Path,
+) -> int:
+    """Write every transcript that was absorbed into no contig.
+
+    "Knowing the transcripts that are joined helps us to combine all
+    transcripts that are not joined into a new file" (paper, §V-C).
+    Returns the unjoined count.
+    """
+    merged: set[str] = set()
+    for path in merged_id_files:
+        merged.update(
+            line.strip()
+            for line in Path(path).read_text().splitlines()
+            if line.strip()
+        )
+    unjoined = [r for r in read_fasta(transcripts_dict) if r.id not in merged]
+    return write_fasta(out_path, unjoined)
+
+
+def concat_final(
+    joined: Path, unjoined: Path, out_path: Path
+) -> int:
+    """The final assembly: contigs followed by unjoined transcripts."""
+    records = list(read_fasta(joined)) + list(read_fasta(unjoined))
+    return write_fasta(out_path, records)
+
+
+#: Transformation-name → callable registry used by the local executor.
+TASK_REGISTRY = {
+    "create_transcript_list": create_transcript_list,
+    "create_alignment_list": create_alignment_list,
+    "split_alignments": split_alignments,
+    "run_cap3": run_cap3,
+    "merge_joined": merge_joined,
+    "merge_unjoined": merge_unjoined,
+    "concat_final": concat_final,
+}

@@ -1,0 +1,29 @@
+"""A DAGMan/Condor-like meta-scheduling layer.
+
+Pegasus plans workflows into a DAG that Condor's DAGMan executes:
+jobs are released when their parents finish, failures are retried a
+configured number of times, and an aborted run leaves a *rescue DAG*
+marking completed work. This package implements those semantics:
+
+* :mod:`repro.dagman.dag` — the DAG model and ``.dag`` file round-trip,
+* :mod:`repro.dagman.events` — per-attempt job records (the trace schema
+  shared by the simulator and the real local executor),
+* :mod:`repro.dagman.scheduler` — the DAGMan loop with throttles,
+  retries, priorities, and rescue generation,
+* :mod:`repro.dagman.condor` — ClassAd-style matchmaking used by the
+  platform models to pair jobs with heterogeneous machines.
+"""
+
+from repro.dagman.dag import Dag, DagJob
+from repro.dagman.events import JobAttempt, JobStatus, WorkflowTrace
+from repro.dagman.scheduler import DagmanScheduler, DagmanResult
+
+__all__ = [
+    "Dag",
+    "DagJob",
+    "JobAttempt",
+    "JobStatus",
+    "WorkflowTrace",
+    "DagmanScheduler",
+    "DagmanResult",
+]

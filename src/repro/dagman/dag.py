@@ -1,0 +1,207 @@
+"""The executable DAG model and Condor-style ``.dag`` file round-trip.
+
+A :class:`DagJob` is a node DAGMan can submit: it carries either a bound
+Python callable (real local execution) or a runtime/IO profile (the
+platform simulators), plus DAGMan metadata (retries, priority). The
+:class:`Dag` holds jobs and dependency edges, validates acyclicity, and
+serialises to the subset of the HTCondor DAGMan file format we use
+(``JOB`` / ``PARENT..CHILD`` / ``RETRY`` / ``PRIORITY`` / ``DONE``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable
+
+from repro.util.iolib import atomic_write
+
+__all__ = ["DagJob", "Dag"]
+
+
+@dataclass(frozen=True)
+class DagJob:
+    """One schedulable node.
+
+    ``runtime`` is the payload's base duration in seconds on a
+    reference-speed core (platform models divide by machine speed);
+    ``payload`` is the real callable for local execution. ``needs_setup``
+    marks the OSG-style jobs that must download/install their software
+    before running (the red rectangles of Fig. 3). ``requirements`` is a
+    ClassAd expression evaluated against machine ads at match time.
+    """
+
+    name: str
+    transformation: str
+    runtime: float = 1.0
+    input_bytes: int = 0
+    output_bytes: int = 0
+    needs_setup: bool = False
+    retries: int = 0
+    priority: int = 0
+    requirements: str | None = None
+    payload: Callable[[], object] | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name or any(c.isspace() for c in self.name):
+            raise ValueError(f"invalid job name: {self.name!r}")
+        if self.runtime < 0:
+            raise ValueError("runtime must be >= 0")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+
+class Dag:
+    """A directed acyclic graph of :class:`DagJob` nodes."""
+
+    def __init__(self, name: str = "workflow") -> None:
+        self.name = name
+        self.jobs: dict[str, DagJob] = {}
+        self._children: dict[str, set[str]] = {}
+        self._parents: dict[str, set[str]] = {}
+        self.done: set[str] = set()  # pre-completed (rescue semantics)
+
+    # -- construction -------------------------------------------------
+
+    def add_job(self, job: DagJob) -> DagJob:
+        if job.name in self.jobs:
+            raise ValueError(f"duplicate job name: {job.name!r}")
+        self.jobs[job.name] = job
+        self._children[job.name] = set()
+        self._parents[job.name] = set()
+        return job
+
+    def add_edge(self, parent: str, child: str) -> None:
+        for name in (parent, child):
+            if name not in self.jobs:
+                raise KeyError(f"unknown job: {name!r}")
+        if parent == child:
+            raise ValueError("self-dependency")
+        self._children[parent].add(child)
+        self._parents[child].add(parent)
+        if self._reaches(child, parent):
+            self._children[parent].discard(child)
+            self._parents[child].discard(parent)
+            raise ValueError(
+                f"edge {parent!r} -> {child!r} would create a cycle"
+            )
+
+    def _reaches(self, start: str, target: str) -> bool:
+        stack, seen = [start], set()
+        while stack:
+            node = stack.pop()
+            if node == target:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._children[node])
+        return False
+
+    # -- queries ------------------------------------------------------
+
+    def parents(self, name: str) -> set[str]:
+        return set(self._parents[name])
+
+    def children(self, name: str) -> set[str]:
+        return set(self._children[name])
+
+    def roots(self) -> list[str]:
+        return [n for n in self.jobs if not self._parents[n]]
+
+    def leaves(self) -> list[str]:
+        return [n for n in self.jobs if not self._children[n]]
+
+    def edges(self) -> Iterable[tuple[str, str]]:
+        for parent, children in self._children.items():
+            for child in sorted(children):
+                yield parent, child
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def topological_order(self) -> list[str]:
+        """Kahn's algorithm; stable w.r.t. insertion order."""
+        indegree = {n: len(self._parents[n]) for n in self.jobs}
+        ready = [n for n in self.jobs if indegree[n] == 0]
+        order: list[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for child in sorted(self._children[node]):
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self.jobs):  # pragma: no cover - guarded by add_edge
+            raise RuntimeError("cycle detected")
+        return order
+
+    def critical_path_length(self) -> float:
+        """Longest runtime-weighted path (a lower bound on makespan)."""
+        longest: dict[str, float] = {}
+        for node in self.topological_order():
+            incoming = [longest[p] for p in self._parents[node]]
+            longest[node] = self.jobs[node].runtime + max(incoming, default=0.0)
+        return max(longest.values(), default=0.0)
+
+    # -- .dag file round-trip ------------------------------------------
+
+    def write_dagfile(self, path: str | Path) -> Path:
+        """Serialise to Condor DAGMan file syntax."""
+        lines = [f"# rescue-aware DAG file for {self.name}"]
+        for name, job in self.jobs.items():
+            lines.append(f"JOB {name} {job.transformation}.sub")
+            if job.retries:
+                lines.append(f"RETRY {name} {job.retries}")
+            if job.priority:
+                lines.append(f"PRIORITY {name} {job.priority}")
+            if name in self.done:
+                lines.append(f"DONE {name}")
+        for parent, child in self.edges():
+            lines.append(f"PARENT {parent} CHILD {child}")
+        return atomic_write(path, "\n".join(lines) + "\n")
+
+    @classmethod
+    def parse_dagfile(cls, path: str | Path, name: str = "workflow") -> "Dag":
+        """Parse the subset written by :meth:`write_dagfile`.
+
+        Jobs come back without payloads or runtime profiles (as with
+        real DAGMan, the ``.sub`` files carry those); retries, priority,
+        DONE flags and edges are restored.
+        """
+        dag = cls(name=name)
+        pending_edges: list[tuple[str, str]] = []
+        for raw in Path(path).read_text().splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            keyword = fields[0].upper()
+            if keyword == "JOB":
+                job_name, submit = fields[1], fields[2]
+                transformation = submit.removesuffix(".sub")
+                dag.add_job(DagJob(name=job_name, transformation=transformation))
+            elif keyword == "RETRY":
+                dag.jobs[fields[1]] = replace(
+                    dag.jobs[fields[1]], retries=int(fields[2])
+                )
+            elif keyword == "PRIORITY":
+                dag.jobs[fields[1]] = replace(
+                    dag.jobs[fields[1]], priority=int(fields[2])
+                )
+            elif keyword == "DONE":
+                dag.done.add(fields[1])
+            elif keyword == "PARENT":
+                split = fields.index("CHILD")
+                parents = fields[1:split]
+                children = fields[split + 1 :]
+                for p in parents:
+                    for c in children:
+                        pending_edges.append((p, c))
+            else:
+                raise ValueError(f"unknown DAG file keyword: {keyword!r}")
+        for parent, child in pending_edges:
+            dag.add_edge(parent, child)
+        return dag

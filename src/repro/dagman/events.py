@@ -1,0 +1,139 @@
+"""Per-attempt job records — the trace schema of the whole system.
+
+Both execution backends (the real local executor and the discrete-event
+platform simulators) emit one :class:`JobAttempt` per try of each job.
+``pegasus-statistics`` style reports (:mod:`repro.wms.statistics`) are
+pure functions over a :class:`WorkflowTrace`, so the same reporting code
+analyses real and simulated runs.
+
+Timestamp semantics (all in the backend's clock):
+
+* ``submit_time`` — DAGMan handed the job to the platform;
+* ``setup_start`` — a slot was acquired and the job began staging /
+  download-install work (``setup_start - submit_time`` is the paper's
+  **Waiting Time**);
+* ``exec_start`` — the payload started (``exec_start - setup_start`` is
+  the paper's **Download/Install Time**);
+* ``exec_end`` — the payload finished, failed, or was evicted
+  (``exec_end - exec_start`` is the paper's **Kickstart Time**).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator
+
+__all__ = ["JobStatus", "JobAttempt", "WorkflowTrace"]
+
+
+class JobStatus(Enum):
+    """Terminal state of one attempt."""
+
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    EVICTED = "evicted"  # preempted by the resource owner (OSG)
+
+    @property
+    def is_success(self) -> bool:
+        return self is JobStatus.SUCCEEDED
+
+
+@dataclass(frozen=True)
+class JobAttempt:
+    """One try of one job on one machine."""
+
+    job_name: str
+    transformation: str
+    site: str
+    machine: str
+    attempt: int
+    submit_time: float
+    setup_start: float
+    exec_start: float
+    exec_end: float
+    status: JobStatus
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        if not (
+            self.submit_time
+            <= self.setup_start
+            <= self.exec_start
+            <= self.exec_end
+        ):
+            raise ValueError(
+                "timestamps must be ordered submit <= setup <= start <= end "
+                f"for {self.job_name!r}: {self.submit_time}, "
+                f"{self.setup_start}, {self.exec_start}, {self.exec_end}"
+            )
+
+    @property
+    def waiting_time(self) -> float:
+        """Paper's "Waiting Time": submit-host + remote-queue waiting."""
+        return self.setup_start - self.submit_time
+
+    @property
+    def download_install_time(self) -> float:
+        """Paper's "Download/Install Time" (zero on the campus cluster)."""
+        return self.exec_start - self.setup_start
+
+    @property
+    def kickstart_time(self) -> float:
+        """Paper's "Kickstart Time": actual payload duration."""
+        return self.exec_end - self.exec_start
+
+    @property
+    def total_time(self) -> float:
+        return self.exec_end - self.submit_time
+
+
+@dataclass
+class WorkflowTrace:
+    """All attempts of one workflow run."""
+
+    attempts: list[JobAttempt] = field(default_factory=list)
+
+    def add(self, attempt: JobAttempt) -> None:
+        self.attempts.append(attempt)
+
+    def __len__(self) -> int:
+        return len(self.attempts)
+
+    def __iter__(self) -> Iterator[JobAttempt]:
+        return iter(self.attempts)
+
+    def for_job(self, job_name: str) -> list[JobAttempt]:
+        """All attempts of one job, in attempt order."""
+        return sorted(
+            (a for a in self.attempts if a.job_name == job_name),
+            key=lambda a: a.attempt,
+        )
+
+    def successful(self) -> list[JobAttempt]:
+        """The final successful attempt of every job that succeeded."""
+        return [a for a in self.attempts if a.status.is_success]
+
+    def failures(self) -> list[JobAttempt]:
+        """Every non-successful attempt (failures and evictions)."""
+        return [a for a in self.attempts if not a.status.is_success]
+
+    @property
+    def retry_count(self) -> int:
+        """Total number of re-submissions that happened."""
+        return sum(1 for a in self.attempts if a.attempt > 1)
+
+    def wall_time(self) -> float:
+        """Workflow makespan: first submit to last completion."""
+        if not self.attempts:
+            return 0.0
+        start = min(a.submit_time for a in self.attempts)
+        end = max(a.exec_end for a in self.attempts)
+        return end - start
+
+    def cumulative_kickstart(self) -> float:
+        """Sum of successful payload durations (pegasus-statistics'
+        "cumulative job wall time")."""
+        return sum(a.kickstart_time for a in self.successful())

@@ -1,0 +1,304 @@
+"""A Condor schedd + negotiator simulation.
+
+The OSG model in :mod:`repro.sim.grid` treats preemption as an
+exponential hazard. This module builds the *mechanism* that hazard
+abstracts: an HTCondor-style pool where
+
+* a **schedd** keeps a job queue with the condor_q lifecycle
+  (IDLE → RUNNING → COMPLETED, plus HELD and REMOVED),
+* a **negotiator** runs periodic matchmaking cycles, ordering users by
+  fair-share priority (accumulated usage, exponentially decayed) and
+  matching their idle jobs against free machine ClassAds,
+* optionally, a starving better-priority user **preempts** the
+  worst-priority running job — exactly the "resources that belong to
+  other VO groups … the OSG user job may be cancelled or held" dynamic
+  of §VI-A.
+
+The pool runs on the shared :class:`repro.sim.engine.Simulator` clock,
+so fair-share, preemption and negotiation cadence are all inspectable
+in virtual time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable
+
+from repro.dagman.condor import ClassAd, match
+from repro.sim.engine import Simulator
+from repro.util.tables import Table
+
+__all__ = ["JobState", "QueuedJob", "Schedd", "CondorPool"]
+
+
+class JobState(Enum):
+    """condor_q states."""
+
+    IDLE = "I"
+    RUNNING = "R"
+    HELD = "H"
+    COMPLETED = "C"
+    REMOVED = "X"
+
+
+@dataclass
+class QueuedJob:
+    """One queue entry (cluster.proc identity, Condor style)."""
+
+    job_id: str
+    owner: str
+    ad: ClassAd
+    runtime: float
+    state: JobState = JobState.IDLE
+    submit_time: float = 0.0
+    start_time: float | None = None
+    end_time: float | None = None
+    machine: str | None = None
+    hold_reason: str | None = None
+    preemptions: int = 0
+    on_complete: Callable[["QueuedJob"], None] | None = None
+    _finish_event: object | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.runtime <= 0:
+            raise ValueError("runtime must be positive")
+
+
+class Schedd:
+    """The job queue and its operations (submit/hold/release/remove)."""
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        self.jobs: dict[str, QueuedJob] = {}
+        self._cluster = 0
+        #: invoked when new work appears (submit/release); the pool's
+        #: negotiator uses it to wake from dormancy.
+        self.on_new_work: Callable[[], None] | None = None
+
+    def submit(
+        self,
+        *,
+        owner: str,
+        runtime: float,
+        ad: ClassAd | None = None,
+        on_complete: Callable[[QueuedJob], None] | None = None,
+    ) -> QueuedJob:
+        """Queue a job; it idles until a negotiation cycle matches it."""
+        self._cluster += 1
+        job = QueuedJob(
+            job_id=f"{self._cluster}.0",
+            owner=owner,
+            ad=ad or ClassAd(name=f"job-{self._cluster}"),
+            runtime=runtime,
+            submit_time=self.simulator.now,
+            on_complete=on_complete,
+        )
+        self.jobs[job.job_id] = job
+        if self.on_new_work is not None:
+            self.on_new_work()
+        return job
+
+    def hold(self, job_id: str, reason: str = "held by user") -> None:
+        """condor_hold: an idle job leaves matchmaking until released."""
+        job = self.jobs[job_id]
+        if job.state is not JobState.IDLE:
+            raise ValueError(
+                f"can only hold idle jobs; {job_id} is {job.state.name}"
+            )
+        job.state = JobState.HELD
+        job.hold_reason = reason
+
+    def release(self, job_id: str) -> None:
+        """condor_release: back to IDLE."""
+        job = self.jobs[job_id]
+        if job.state is not JobState.HELD:
+            raise ValueError(f"{job_id} is not held")
+        job.state = JobState.IDLE
+        job.hold_reason = None
+        if self.on_new_work is not None:
+            self.on_new_work()
+
+    def remove(self, job_id: str) -> None:
+        """condor_rm: remove an idle or held job from the queue."""
+        job = self.jobs[job_id]
+        if job.state in (JobState.COMPLETED, JobState.REMOVED):
+            return
+        if job.state is JobState.RUNNING:
+            raise ValueError("remove running jobs via the pool (preempt)")
+        job.state = JobState.REMOVED
+
+    def idle_jobs(self) -> list[QueuedJob]:
+        return [
+            j for j in self.jobs.values() if j.state is JobState.IDLE
+        ]
+
+    def running_jobs(self) -> list[QueuedJob]:
+        return [
+            j for j in self.jobs.values() if j.state is JobState.RUNNING
+        ]
+
+    def condor_q(self) -> str:
+        """The classic queue listing."""
+        table = Table(
+            ["ID", "OWNER", "ST", "SUBMITTED", "RUN_TIME", "MACHINE"],
+            title=f"-- Schedd: {len(self.jobs)} jobs @ t={self.simulator.now:.0f}s",
+        )
+        for job in self.jobs.values():
+            run_time = 0.0
+            if job.start_time is not None:
+                end = (
+                    job.end_time
+                    if job.end_time is not None
+                    else self.simulator.now
+                )
+                run_time = end - job.start_time
+            table.add_row(
+                job.job_id, job.owner, job.state.value,
+                round(job.submit_time), round(run_time),
+                job.machine or "-",
+            )
+        return table.render()
+
+
+class CondorPool:
+    """Machines + negotiator on a virtual clock.
+
+    ``half_life_s`` controls the fair-share decay of accumulated usage
+    (Condor's ``PRIORITY_HALFLIFE``); lower usage ⇒ better priority.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        machines: list[ClassAd],
+        *,
+        negotiation_interval_s: float = 60.0,
+        preemption: bool = True,
+        half_life_s: float = 86_400.0,
+    ) -> None:
+        if not machines:
+            raise ValueError("a pool needs at least one machine")
+        self.simulator = simulator
+        self.schedd = Schedd(simulator)
+        self.machines = {m.name: m for m in machines}
+        self._free = sorted(self.machines)
+        self.negotiation_interval_s = negotiation_interval_s
+        self.preemption = preemption
+        self.half_life_s = half_life_s
+        self._usage: dict[str, float] = {}
+        self._usage_stamp: dict[str, float] = {}
+        self.preemption_count = 0
+        self.negotiation_cycles = 0
+        self._running = True
+        self._stopped = False
+        self.schedd.on_new_work = self._wake
+        simulator.schedule(negotiation_interval_s, self._negotiate)
+
+    # -- fair share --------------------------------------------------------
+
+    def usage(self, owner: str) -> float:
+        """Decayed accumulated cpu-seconds of one user."""
+        raw = self._usage.get(owner, 0.0)
+        stamp = self._usage_stamp.get(owner, self.simulator.now)
+        age = self.simulator.now - stamp
+        return raw * math.pow(0.5, age / self.half_life_s)
+
+    def _charge(self, owner: str, seconds: float) -> None:
+        self._usage[owner] = self.usage(owner) + seconds
+        self._usage_stamp[owner] = self.simulator.now
+
+    def priority_order(self) -> list[str]:
+        """Users best-priority (lowest decayed usage) first."""
+        owners = {j.owner for j in self.schedd.jobs.values()}
+        return sorted(owners, key=lambda o: (self.usage(o), o))
+
+    # -- negotiation ---------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop scheduling further negotiation cycles, permanently."""
+        self._running = False
+        self._stopped = True
+
+    def _wake(self) -> None:
+        """New work arrived while the negotiator was dormant."""
+        if self._stopped or self._running:
+            return
+        self._running = True
+        self.simulator.schedule(self.negotiation_interval_s, self._negotiate)
+
+    def _negotiate(self) -> None:
+        self.negotiation_cycles += 1
+        for owner in self.priority_order():
+            idle = [
+                j for j in self.schedd.idle_jobs() if j.owner == owner
+            ]
+            for job in idle:
+                machine = self._match_or_preempt(job)
+                if machine is None:
+                    continue
+                self._start(job, machine)
+        if self._running and (
+            self.schedd.idle_jobs() or self.schedd.running_jobs()
+        ):
+            self.simulator.schedule(
+                self.negotiation_interval_s, self._negotiate
+            )
+        else:
+            self._running = False
+
+    def _match_or_preempt(self, job: QueuedJob) -> str | None:
+        free_ads = [self.machines[name] for name in self._free]
+        chosen = match(job.ad, free_ads)
+        if chosen is not None:
+            self._free.remove(chosen.name)
+            return chosen.name
+        if not self.preemption:
+            return None
+        # Preempt the running job of the worst-priority user whose
+        # usage exceeds this owner's (never preempt same/better users).
+        candidates = [
+            r
+            for r in self.schedd.running_jobs()
+            if self.usage(r.owner) > self.usage(job.owner)
+            and r.owner != job.owner
+            and match(job.ad, [self.machines[r.machine]]) is not None
+        ]
+        if not candidates:
+            return None
+        victim = max(candidates, key=lambda r: self.usage(r.owner))
+        machine = victim.machine
+        self._evict(victim)
+        self._free.remove(machine)
+        return machine
+
+    def _start(self, job: QueuedJob, machine: str) -> None:
+        job.state = JobState.RUNNING
+        job.machine = machine
+        job.start_time = self.simulator.now
+        job._finish_event = self.simulator.schedule(
+            job.runtime, lambda: self._finish(job)
+        )
+
+    def _finish(self, job: QueuedJob) -> None:
+        job.state = JobState.COMPLETED
+        job.end_time = self.simulator.now
+        self._charge(job.owner, job.end_time - job.start_time)
+        self._free.append(job.machine)
+        self._free.sort()
+        if job.on_complete is not None:
+            job.on_complete(job)
+
+    def _evict(self, job: QueuedJob) -> None:
+        """Preemption: the job goes back to IDLE, its work lost."""
+        self.preemption_count += 1
+        job.preemptions += 1
+        if job._finish_event is not None:
+            job._finish_event.cancel()
+        self._charge(job.owner, self.simulator.now - job.start_time)
+        self._free.append(job.machine)
+        self._free.sort()
+        job.state = JobState.IDLE
+        job.machine = None
+        job.start_time = None

@@ -1,0 +1,250 @@
+"""The DAGMan scheduling loop.
+
+DAGMan semantics implemented here, driven by callbacks from an
+execution environment (real or simulated):
+
+* a job is **ready** when every parent has succeeded;
+* ready jobs are submitted highest-priority first, subject to the
+  ``max_jobs`` throttle (Condor's ``DAGMAN_MAX_JOBS_SUBMITTED``);
+* a failed or evicted attempt is retried while the job has retries
+  left (``RETRY`` lines), otherwise the job is failed and all of its
+  descendants become unrunnable;
+* when nothing more can run, the run ends; if anything failed, a
+  **rescue DAG** (original DAG with ``DONE`` marks) can be written and
+  re-submitted later, exactly like ``*.rescue001`` files.
+
+The scheduler is clock-agnostic: it reads time only through the
+environment, so the same code runs under the virtual clock and the real
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Callable, Protocol
+
+from repro.dagman.dag import Dag, DagJob
+from repro.dagman.events import JobAttempt, WorkflowTrace
+
+__all__ = ["ExecutionEnvironment", "DagmanScheduler", "DagmanResult", "NodeState"]
+
+
+class ExecutionEnvironment(Protocol):
+    """What DAGMan needs from a platform (real or simulated)."""
+
+    @property
+    def now(self) -> float:
+        """Current time on the platform's clock."""
+        ...
+
+    def submit(
+        self,
+        job: DagJob,
+        on_complete: Callable[[JobAttempt], None],
+        *,
+        attempt: int = 1,
+    ) -> None:
+        """Queue one attempt of a job; invoke ``on_complete`` when it
+        finishes (successfully or not). ``attempt`` is 1-based and must
+        be echoed into the :class:`JobAttempt`."""
+        ...
+
+    def run_until_complete(self) -> None:
+        """Drive the platform until no submitted work remains."""
+        ...
+
+
+class NodeState(Enum):
+    """DAGMan's view of one node."""
+
+    UNREADY = "unready"
+    READY = "ready"
+    SUBMITTED = "submitted"
+    DONE = "done"
+    FAILED = "failed"
+    UNRUNNABLE = "unrunnable"  # an ancestor failed
+
+
+@dataclass
+class DagmanResult:
+    """Final outcome of one DAGMan run."""
+
+    success: bool
+    trace: WorkflowTrace
+    states: dict[str, NodeState]
+    wall_time: float
+
+    @property
+    def failed_jobs(self) -> list[str]:
+        return sorted(
+            n for n, s in self.states.items() if s is NodeState.FAILED
+        )
+
+    @property
+    def unrunnable_jobs(self) -> list[str]:
+        return sorted(
+            n for n, s in self.states.items() if s is NodeState.UNRUNNABLE
+        )
+
+
+class DagmanScheduler:
+    """Execute a :class:`Dag` on an :class:`ExecutionEnvironment`."""
+
+    def __init__(
+        self,
+        dag: Dag,
+        environment: ExecutionEnvironment,
+        *,
+        max_jobs: int | None = None,
+        default_retries: int | None = None,
+        on_attempt: Callable[[JobAttempt], None] | None = None,
+    ) -> None:
+        """``on_attempt`` is invoked for every finished attempt as it
+        lands — the monitord hook (stream attempts to a JSONL log with
+        :func:`repro.wms.monitor.append_attempt` for live
+        ``pegasus-status`` style observation)."""
+        if max_jobs is not None and max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+        self.dag = dag
+        self.environment = environment
+        self.max_jobs = max_jobs
+        self.default_retries = default_retries
+        self.on_attempt = on_attempt
+        self.trace = WorkflowTrace()
+        self.states: dict[str, NodeState] = {}
+        self._retries_left: dict[str, int] = {}
+        self._attempt: dict[str, int] = {}
+        self._in_flight = 0
+        self._started = False
+        self._start_time = 0.0
+
+    # -- public API -----------------------------------------------------
+
+    def run(self) -> DagmanResult:
+        """Start the DAG and drive the environment to completion."""
+        self.start()
+        self.environment.run_until_complete()
+        return self.result()
+
+    def start(self) -> None:
+        """Initialise node states and submit the initial ready set."""
+        if self._started:
+            raise RuntimeError("scheduler already started")
+        self._started = True
+        self._start_time = self.environment.now
+        for name, job in self.dag.jobs.items():
+            retries = (
+                self.default_retries
+                if self.default_retries is not None
+                else job.retries
+            )
+            self._retries_left[name] = retries
+            self._attempt[name] = 0
+            if name in self.dag.done:
+                self.states[name] = NodeState.DONE
+            else:
+                self.states[name] = NodeState.UNREADY
+        for name in self.dag.jobs:
+            if self.states[name] is NodeState.UNREADY and self._parents_done(name):
+                self.states[name] = NodeState.READY
+        self._submit_ready()
+
+    def result(self) -> DagmanResult:
+        """Snapshot the outcome (valid after the environment drains)."""
+        success = all(
+            s is NodeState.DONE for s in self.states.values()
+        )
+        return DagmanResult(
+            success=success,
+            trace=self.trace,
+            states=dict(self.states),
+            wall_time=self.environment.now - self._start_time,
+        )
+
+    def status_counts(self) -> dict[str, int]:
+        """State histogram, the ``pegasus-status`` style summary."""
+        counts: dict[str, int] = {}
+        for state in self.states.values():
+            counts[state.value] = counts.get(state.value, 0) + 1
+        return counts
+
+    def write_rescue(self, path: str | Path) -> Path:
+        """Write a rescue DAG marking completed nodes DONE."""
+        rescue = Dag(name=f"{self.dag.name}.rescue")
+        for job in self.dag.jobs.values():
+            rescue.add_job(job)
+        for parent, child in self.dag.edges():
+            rescue.add_edge(parent, child)
+        rescue.done = {
+            n for n, s in self.states.items() if s is NodeState.DONE
+        }
+        return rescue.write_dagfile(path)
+
+    # -- internals ------------------------------------------------------
+
+    def _parents_done(self, name: str) -> bool:
+        return all(
+            self.states[p] is NodeState.DONE for p in self.dag.parents(name)
+        )
+
+    def _submit_ready(self) -> None:
+        ready = [
+            n for n, s in self.states.items() if s is NodeState.READY
+        ]
+        # Highest priority first; insertion order breaks ties.
+        ready.sort(key=lambda n: -self.dag.jobs[n].priority)
+        for name in ready:
+            if self.max_jobs is not None and self._in_flight >= self.max_jobs:
+                return
+            self._submit(name)
+
+    def _submit(self, name: str) -> None:
+        self.states[name] = NodeState.SUBMITTED
+        self._attempt[name] += 1
+        self._in_flight += 1
+        job = self.dag.jobs[name]
+        self.environment.submit(
+            job, self._make_listener(name), attempt=self._attempt[name]
+        )
+
+    def _make_listener(self, name: str) -> Callable[[JobAttempt], None]:
+        def on_complete(attempt: JobAttempt) -> None:
+            self._handle_completion(name, attempt)
+
+        return on_complete
+
+    def _handle_completion(self, name: str, attempt: JobAttempt) -> None:
+        self.trace.add(attempt)
+        if self.on_attempt is not None:
+            self.on_attempt(attempt)
+        self._in_flight -= 1
+        if attempt.status.is_success:
+            self.states[name] = NodeState.DONE
+            for child in self.dag.children(name):
+                if (
+                    self.states[child] is NodeState.UNREADY
+                    and self._parents_done(child)
+                ):
+                    self.states[child] = NodeState.READY
+        elif self._retries_left[name] > 0:
+            self._retries_left[name] -= 1
+            self.states[name] = NodeState.READY
+        else:
+            self.states[name] = NodeState.FAILED
+            self._mark_descendants_unrunnable(name)
+        self._submit_ready()
+
+    def _mark_descendants_unrunnable(self, name: str) -> None:
+        stack = list(self.dag.children(name))
+        while stack:
+            node = stack.pop()
+            if self.states[node] in (NodeState.UNREADY, NodeState.READY):
+                self.states[node] = NodeState.UNRUNNABLE
+                stack.extend(self.dag.children(node))
+
+    @property
+    def attempt_number(self) -> dict[str, int]:
+        """Current attempt count per job (1-based once submitted)."""
+        return dict(self._attempt)

@@ -1,0 +1,173 @@
+"""Synthetic transcriptome generation.
+
+Models what a de-novo assembler hands blast2cap3: for each gene (one
+reference protein), several overlapping transcript *fragments* — the
+redundancy CAP3 is asked to merge — plus sequencing errors, occasional
+strand flips, UTR padding, and a pool of noise transcripts with no
+protein of origin. Cluster sizes are drawn from a right-skewed
+(lognormal-rounded) distribution, which is what makes the longest
+``run_cap3`` partition, not the average, bound the workflow wall time
+in the paper's Fig. 4.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.bio.fasta import FastaRecord
+from repro.bio.seq import reverse_complement
+
+__all__ = ["TranscriptomeSpec", "Transcriptome", "generate_transcriptome"]
+
+#: Codons per amino acid for reverse translation (synonymous choices).
+_CODONS: dict[str, tuple[str, ...]] = {
+    "A": ("GCT", "GCC", "GCA", "GCG"),
+    "R": ("CGT", "CGC", "AGA", "AGG"),
+    "N": ("AAT", "AAC"),
+    "D": ("GAT", "GAC"),
+    "C": ("TGT", "TGC"),
+    "Q": ("CAA", "CAG"),
+    "E": ("GAA", "GAG"),
+    "G": ("GGT", "GGC", "GGA", "GGG"),
+    "H": ("CAT", "CAC"),
+    "I": ("ATT", "ATC", "ATA"),
+    "L": ("CTT", "CTC", "CTA", "CTG", "TTA", "TTG"),
+    "K": ("AAA", "AAG"),
+    "M": ("ATG",),
+    "F": ("TTT", "TTC"),
+    "P": ("CCT", "CCC", "CCA", "CCG"),
+    "S": ("TCT", "TCC", "TCA", "TCG", "AGT", "AGC"),
+    "T": ("ACT", "ACC", "ACA", "ACG"),
+    "W": ("TGG",),
+    "Y": ("TAT", "TAC"),
+    "V": ("GTT", "GTC", "GTA", "GTG"),
+}
+
+
+@dataclass(frozen=True)
+class TranscriptomeSpec:
+    """Shape of the synthetic transcriptome.
+
+    ``mean_fragments_per_gene`` parameterises the lognormal cluster-size
+    skew; ``error_rate`` is per-base substitution noise;
+    ``reverse_fraction`` flips that share of fragments to the minus
+    strand; ``noise_transcripts`` have no protein of origin.
+    """
+
+    mean_fragments_per_gene: float = 3.0
+    sigma_fragments: float = 0.6
+    fragment_min_fraction: float = 0.45
+    fragment_max_fraction: float = 0.85
+    utr_length: int = 30
+    error_rate: float = 0.003
+    reverse_fraction: float = 0.2
+    noise_transcripts: int = 0
+    noise_length: tuple[int, int] = (300, 900)
+
+    def __post_init__(self) -> None:
+        if self.mean_fragments_per_gene < 1:
+            raise ValueError("mean_fragments_per_gene must be >= 1")
+        if not 0 < self.fragment_min_fraction <= self.fragment_max_fraction <= 1:
+            raise ValueError("fragment fractions must satisfy 0 < min <= max <= 1")
+        if not 0 <= self.error_rate < 0.5:
+            raise ValueError("error_rate must be in [0, 0.5)")
+        if not 0 <= self.reverse_fraction <= 1:
+            raise ValueError("reverse_fraction must be in [0, 1]")
+
+
+@dataclass
+class Transcriptome:
+    """Generated transcripts plus ground truth for validation."""
+
+    transcripts: list[FastaRecord] = field(default_factory=list)
+    #: transcript id -> originating protein id (absent for noise)
+    origin: dict[str, str] = field(default_factory=dict)
+    #: protein id -> full-length coding DNA used as the gene template
+    gene_cdna: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def cluster_sizes(self) -> dict[str, int]:
+        sizes: dict[str, int] = {}
+        for protein_id in self.origin.values():
+            sizes[protein_id] = sizes.get(protein_id, 0) + 1
+        return sizes
+
+
+def _reverse_translate(rng: random.Random, protein: str) -> str:
+    return "".join(rng.choice(_CODONS[aa]) for aa in protein)
+
+
+def _random_dna(rng: random.Random, n: int) -> str:
+    return "".join(rng.choice("ACGT") for _ in range(n))
+
+
+def _mutate(rng: random.Random, seq: str, rate: float) -> str:
+    if rate <= 0:
+        return seq
+    out = list(seq)
+    for i, base in enumerate(out):
+        if rng.random() < rate:
+            out[i] = rng.choice([b for b in "ACGT" if b != base])
+    return "".join(out)
+
+
+def _skewed_count(rng: random.Random, mean: float, sigma: float) -> int:
+    """Lognormal-rounded count with the requested mean, min 1."""
+    mu = math.log(mean) - 0.5 * sigma * sigma
+    return max(1, round(rng.lognormvariate(mu, sigma)))
+
+
+def generate_transcriptome(
+    proteins: list[FastaRecord],
+    spec: TranscriptomeSpec = TranscriptomeSpec(),
+    *,
+    seed: int = 0,
+) -> Transcriptome:
+    """Generate fragments for each gene, plus noise transcripts.
+
+    Fragments of one gene are overlapping windows of the same coding
+    DNA (so CAP3 can actually merge them), each padded with private UTR
+    sequence, lightly mutated, and possibly strand-flipped.
+    """
+    rng = random.Random(seed)
+    result = Transcriptome()
+
+    for protein in proteins:
+        cdna = _reverse_translate(rng, protein.seq)
+        result.gene_cdna[protein.id] = cdna
+        n_fragments = _skewed_count(
+            rng, spec.mean_fragments_per_gene, spec.sigma_fragments
+        )
+        for j in range(n_fragments):
+            frac = rng.uniform(
+                spec.fragment_min_fraction, spec.fragment_max_fraction
+            )
+            frag_len = max(60, int(len(cdna) * frac))
+            frag_len = min(frag_len, len(cdna))
+            start = rng.randint(0, len(cdna) - frag_len)
+            fragment = cdna[start : start + frag_len]
+            utr5 = _random_dna(rng, rng.randint(0, spec.utr_length))
+            utr3 = _random_dna(rng, rng.randint(0, spec.utr_length))
+            seq = _mutate(rng, utr5 + fragment + utr3, spec.error_rate)
+            if rng.random() < spec.reverse_fraction:
+                seq = reverse_complement(seq)
+            tid = f"tr_{protein.id}_{j}"
+            result.transcripts.append(
+                FastaRecord(
+                    id=tid, seq=seq, description=f"{tid} gene={protein.id}"
+                )
+            )
+            result.origin[tid] = protein.id
+
+    for k in range(spec.noise_transcripts):
+        length = rng.randint(*spec.noise_length)
+        tid = f"tr_noise_{k}"
+        result.transcripts.append(
+            FastaRecord(id=tid, seq=_random_dna(rng, length),
+                        description=f"{tid} noise")
+        )
+
+    rng.shuffle(result.transcripts)
+    return result

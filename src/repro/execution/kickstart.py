@@ -1,0 +1,53 @@
+"""Kickstart: the per-invocation measurement wrapper.
+
+Pegasus launches every remote job under ``pegasus-kickstart``, which
+records the payload's actual duration and exit status — the paper's
+"Kickstart Time" statistic is named after it. :func:`kickstart` is our
+equivalent for Python payloads.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["KickstartRecord", "kickstart"]
+
+
+@dataclass(frozen=True)
+class KickstartRecord:
+    """Outcome of one wrapped invocation."""
+
+    duration_s: float
+    success: bool
+    result: Any = None
+    error: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.duration_s < 0:
+            raise ValueError("duration must be >= 0")
+        if self.success and self.error is not None:
+            raise ValueError("successful records carry no error")
+
+
+def kickstart(payload: Callable[[], Any]) -> KickstartRecord:
+    """Invoke ``payload``, timing it and capturing any exception.
+
+    Exceptions never propagate: a failing payload yields a record with
+    ``success=False`` and the traceback text, which DAGMan turns into a
+    failed attempt (and possibly a retry).
+    """
+    start = time.perf_counter()
+    try:
+        result = payload()
+    except Exception:
+        return KickstartRecord(
+            duration_s=time.perf_counter() - start,
+            success=False,
+            error=traceback.format_exc(),
+        )
+    return KickstartRecord(
+        duration_s=time.perf_counter() - start, success=True, result=result
+    )

@@ -1,0 +1,142 @@
+"""The local execution backend: real payloads, real wall clock.
+
+Two pool flavours:
+
+* ``executor="process"`` (the performance mode) — payloads run in a
+  ``ProcessPoolExecutor``, sidestepping the GIL; payloads must be
+  picklable (see :class:`repro.execution.payloads.TaskCall`). Profiling
+  drove this choice: CPU-bound NumPy/Python task bodies under a thread
+  pool ran ~7x *slower* than serial from GIL contention.
+* ``executor="thread"`` — payloads run on threads; any callable works
+  (tests and closures), parallel speedup limited to I/O-bound work.
+
+Either way, *all scheduling decisions* (DAGMan callbacks, new
+submissions) happen on the driver thread via a completion queue —
+DAGMan's state machine needs no locks and behaves identically under
+this backend and the single-threaded simulators.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Literal
+
+from repro.dagman.dag import DagJob
+from repro.dagman.events import JobAttempt, JobStatus
+from repro.execution.kickstart import KickstartRecord, kickstart
+
+__all__ = ["LocalEnvironment"]
+
+
+def _run_payload(payload: Callable[[], Any]) -> tuple[float, bool, str | None]:
+    """Worker-side wrapper: returns (duration, success, error)."""
+    record: KickstartRecord = kickstart(payload)
+    return record.duration_s, record.success, record.error
+
+
+class LocalEnvironment:
+    """Run DAG jobs' Python payloads locally (an ``ExecutionEnvironment``).
+
+    ``site`` labels the trace records; ``max_workers`` is the local
+    parallelism (the "multiple computational nodes" of the paper,
+    scaled down to one machine's cores).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 4,
+        site: str = "local",
+        executor: Literal["thread", "process"] = "thread",
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if executor not in ("thread", "process"):
+            raise ValueError(f"unknown executor kind: {executor!r}")
+        self.site = site
+        self.max_workers = max_workers
+        self.executor_kind = executor
+        self._pool: Executor
+        if executor == "process":
+            self._pool = ProcessPoolExecutor(max_workers=max_workers)
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="repro-worker"
+            )
+        self._completions: "queue.Queue[tuple[Callable[[JobAttempt], None], JobAttempt]]" = (
+            queue.Queue()
+        )
+        self._in_flight = 0
+        self._epoch = time.monotonic()
+
+    @property
+    def now(self) -> float:
+        """Seconds since this environment was created."""
+        return time.monotonic() - self._epoch
+
+    def submit(
+        self,
+        job: DagJob,
+        on_complete: Callable[[JobAttempt], None],
+        *,
+        attempt: int = 1,
+    ) -> None:
+        if job.payload is None:
+            raise ValueError(
+                f"job {job.name!r} has no payload bound; the local backend "
+                "runs real callables (use the simulator for modelled jobs)"
+            )
+        submit_time = self.now
+        self._in_flight += 1
+
+        def record_completion(duration: float, success: bool,
+                              error: str | None) -> None:
+            end = self.now
+            start = max(submit_time, end - duration)
+            attempt_record = JobAttempt(
+                job_name=job.name,
+                transformation=job.transformation,
+                site=self.site,
+                machine=f"{self.site}-{self.executor_kind}pool",
+                attempt=attempt,
+                submit_time=submit_time,
+                setup_start=start,
+                exec_start=start,
+                exec_end=end,
+                status=(
+                    JobStatus.SUCCEEDED if success else JobStatus.FAILED
+                ),
+                error=error,
+            )
+            self._completions.put((on_complete, attempt_record))
+
+        future = self._pool.submit(_run_payload, job.payload)
+
+        def on_done(fut) -> None:
+            try:
+                duration, success, error = fut.result()
+            except Exception as exc:  # unpicklable payload, pool death …
+                record_completion(0.0, False, f"{type(exc).__name__}: {exc}")
+            else:
+                record_completion(duration, success, error)
+
+        future.add_done_callback(on_done)
+
+    def run_until_complete(self) -> None:
+        """Process completions (on this thread) until nothing is running."""
+        while self._in_flight > 0:
+            on_complete, record = self._completions.get()
+            self._in_flight -= 1
+            on_complete(record)
+
+    def shutdown(self) -> None:
+        """Release the worker pool."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "LocalEnvironment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

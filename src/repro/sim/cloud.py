@@ -1,0 +1,297 @@
+"""A cloud execution-platform model — the paper's future work, built.
+
+§VII: "Using academic and commercial clouds as an execution platform
+for the blast2cap3 workflow built in this paper will be challenging,
+but important and useful further step of this research." This module
+models the EC2/FutureGrid style platform the paper names:
+
+* **on-demand instances** — provisioned per queued job up to a cap,
+  each paying a boot delay before the first payload runs;
+* **machine images** — software baked in, so no per-job
+  download/install (the cloud's answer to OSG's setup tax);
+* **warm pools** — idle instances linger ``idle_timeout_s`` before
+  terminating, so bursts reuse booted capacity;
+* **billing** — instance time is billed in ``billing_quantum_s``
+  increments (the classic per-hour granularity), which makes *cost*,
+  not just wall time, an output of every run;
+* optional **spot mode** — cheaper instances that can be reclaimed
+  (an eviction hazard, like OSG's preemption) for the cost/risk
+  trade-off study.
+
+Implements the same ``ExecutionEnvironment`` protocol as the campus
+cluster and grid models, so DAGMan and ``pegasus-statistics`` work on
+cloud runs unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.dagman.dag import DagJob
+from repro.dagman.events import JobAttempt, JobStatus
+from repro.sim.engine import Simulator
+from repro.sim.failures import NO_FAILURES, FailureModel
+from repro.sim.rng import RngStreams, bounded_lognormal
+
+__all__ = ["InstanceType", "CloudConfig", "CloudPlatform"]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One VM flavour."""
+
+    name: str
+    speed: float
+    hourly_price: float
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+        if self.hourly_price < 0:
+            raise ValueError("hourly_price must be >= 0")
+
+
+@dataclass(frozen=True)
+class CloudConfig:
+    """Cloud platform parameters (EC2-c1.medium-era defaults)."""
+
+    name: str = "cloud"
+    instance_type: InstanceType = InstanceType(
+        name="c1.medium", speed=1.25, hourly_price=0.145
+    )
+    max_instances: int = 200
+    boot_mean_s: float = 120.0
+    boot_sigma: float = 0.3
+    boot_max_s: float = 600.0
+    idle_timeout_s: float = 300.0
+    billing_quantum_s: float = 3600.0
+    dispatch_latency_s: float = 2.0
+    #: Spot-market mode: reclaim hazard + discounted price.
+    failures: FailureModel = NO_FAILURES
+    spot_discount: float = 1.0  # multiply hourly price (e.g. 0.3 for spot)
+
+    def __post_init__(self) -> None:
+        if self.max_instances < 1:
+            raise ValueError("max_instances must be >= 1")
+        if self.billing_quantum_s <= 0:
+            raise ValueError("billing_quantum_s must be positive")
+        if not 0 < self.spot_discount <= 1:
+            raise ValueError("spot_discount must be in (0, 1]")
+
+
+class _Instance:
+    """One VM: boots once, runs jobs one at a time, idles, terminates."""
+
+    __slots__ = ("name", "launched_at", "terminated_at", "busy", "idle_event")
+
+    def __init__(self, name: str, launched_at: float) -> None:
+        self.name = name
+        self.launched_at = launched_at
+        self.terminated_at: float | None = None
+        self.busy = False
+        self.idle_event = None  # pending termination event
+
+
+class CloudPlatform:
+    """Discrete-event on-demand cloud (an ``ExecutionEnvironment``)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        config: CloudConfig = CloudConfig(),
+        *,
+        streams: RngStreams | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.config = config
+        streams = streams or RngStreams(seed=0)
+        self._boot_rng = streams.stream(f"{config.name}.boot")
+        self._failure_rng = streams.stream(f"{config.name}.failures")
+        self._instances: list[_Instance] = []
+        self._warm: list[_Instance] = []  # booted and idle
+        self._queue: list[
+            tuple[DagJob, Callable[[JobAttempt], None], int, float]
+        ] = []
+        self._counter = 0
+        self.peak_instances = 0
+        self.reclaim_count = 0
+
+    # -- ExecutionEnvironment protocol ---------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.simulator.now
+
+    def submit(
+        self,
+        job: DagJob,
+        on_complete: Callable[[JobAttempt], None],
+        *,
+        attempt: int = 1,
+    ) -> None:
+        self._queue.append((job, on_complete, attempt, self.now))
+        self._dispatch()
+
+    def run_until_complete(self) -> None:
+        self.simulator.run()
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def running_instances(self) -> int:
+        return sum(1 for i in self._instances if i.terminated_at is None)
+
+    def queue_status(self) -> dict[str, int]:
+        """``condor_q``-style snapshot: idle (awaiting capacity) vs
+        running (busy instances)."""
+        busy = sum(
+            1 for i in self._instances
+            if i.terminated_at is None and i.busy
+        )
+        return {"idle": len(self._queue), "running": busy}
+
+    def instance_seconds(self) -> float:
+        """Raw provisioned seconds across all instances."""
+        total = 0.0
+        for inst in self._instances:
+            end = inst.terminated_at if inst.terminated_at is not None else self.now
+            total += end - inst.launched_at
+        return total
+
+    def billed_cost(self) -> float:
+        """Dollars, rounding each instance up to the billing quantum."""
+        quantum = self.config.billing_quantum_s
+        hourly = self.config.instance_type.hourly_price * self.config.spot_discount
+        cost = 0.0
+        for inst in self._instances:
+            end = inst.terminated_at if inst.terminated_at is not None else self.now
+            quanta = math.ceil(max(1e-9, end - inst.launched_at) / quantum)
+            cost += quanta * hourly * (quantum / 3600.0)
+        return cost
+
+    # -- internals ------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        while self._queue:
+            job, on_complete, attempt, submit_time = self._queue[0]
+            if self._warm:
+                instance = self._warm.pop()
+                if instance.idle_event is not None:
+                    instance.idle_event.cancel()
+                    instance.idle_event = None
+                self._queue.pop(0)
+                self._start_on(
+                    instance, job, on_complete, attempt, submit_time,
+                    booted=True,
+                )
+            elif self.running_instances < self.config.max_instances:
+                self._queue.pop(0)
+                self._counter += 1
+                instance = _Instance(
+                    name=f"{self.config.name}-vm{self._counter:05d}",
+                    launched_at=self.now,
+                )
+                self._instances.append(instance)
+                self.peak_instances = max(
+                    self.peak_instances, self.running_instances
+                )
+                boot = self.config.dispatch_latency_s + bounded_lognormal(
+                    self._boot_rng,
+                    self.config.boot_mean_s,
+                    self.config.boot_sigma,
+                    high=self.config.boot_max_s,
+                )
+                self.simulator.schedule(
+                    boot,
+                    lambda inst=instance, j=job, cb=on_complete, a=attempt,
+                    st=submit_time: self._start_on(inst, j, cb, a, st,
+                                                   booted=False),
+                )
+            else:
+                return  # no capacity; retry on next completion
+
+    def _start_on(
+        self,
+        instance: _Instance,
+        job: DagJob,
+        on_complete: Callable[[JobAttempt], None],
+        attempt: int,
+        submit_time: float,
+        *,
+        booted: bool,
+    ) -> None:
+        instance.busy = True
+        start = self.now
+        duration = job.runtime / self.config.instance_type.speed
+        reclaim_in = self.config.failures.sample_eviction_time(
+            self._failure_rng
+        )
+        if reclaim_in < duration:
+            self.reclaim_count += 1
+            self.simulator.schedule(
+                reclaim_in,
+                lambda: self._finish(
+                    instance, job, on_complete, attempt, submit_time, start,
+                    JobStatus.EVICTED, "spot instance reclaimed",
+                    terminate=True,
+                ),
+            )
+        else:
+            self.simulator.schedule(
+                duration,
+                lambda: self._finish(
+                    instance, job, on_complete, attempt, submit_time, start,
+                    JobStatus.SUCCEEDED, None, terminate=False,
+                ),
+            )
+
+    def _finish(
+        self,
+        instance: _Instance,
+        job: DagJob,
+        on_complete: Callable[[JobAttempt], None],
+        attempt: int,
+        submit_time: float,
+        start: float,
+        status: JobStatus,
+        error: str | None,
+        *,
+        terminate: bool,
+    ) -> None:
+        record = JobAttempt(
+            job_name=job.name,
+            transformation=job.transformation,
+            site=self.config.name,
+            machine=instance.name,
+            attempt=attempt,
+            submit_time=submit_time,
+            setup_start=start,  # image is pre-baked: no download/install
+            exec_start=start,
+            exec_end=self.now,
+            status=status,
+            error=error,
+        )
+        instance.busy = False
+        if terminate:
+            instance.terminated_at = self.now
+        else:
+            self._park(instance)
+        on_complete(record)
+        self._dispatch()
+
+    def _park(self, instance: _Instance) -> None:
+        """Idle the instance; terminate it after the warm-pool timeout."""
+        self._warm.append(instance)
+
+        def terminate() -> None:
+            if instance.busy or instance.terminated_at is not None:
+                return
+            if instance in self._warm:
+                self._warm.remove(instance)
+            instance.terminated_at = self.now
+
+        instance.idle_event = self.simulator.schedule(
+            self.config.idle_timeout_s, terminate
+        )

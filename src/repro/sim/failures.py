@@ -1,0 +1,47 @@
+"""Failure and preemption sampling for the opportunistic grid.
+
+The paper observed two distinct failure mechanisms on OSG, and none on
+Sandhills:
+
+* jobs landing on **misconfigured nodes** fail immediately (wrong or
+  missing software) — modelled as a Bernoulli start failure;
+* running jobs are **preempted** when the resource's owning VO submits
+  its own work ("the OSG user job may be cancelled or held") — modelled
+  as an exponential eviction hazard over the job's run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+__all__ = ["FailureModel", "NO_FAILURES"]
+
+
+@dataclass(frozen=True)
+class FailureModel:
+    """Start-failure probability plus an eviction hazard rate."""
+
+    start_failure_prob: float = 0.0
+    eviction_rate_per_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start_failure_prob <= 1.0:
+            raise ValueError("start_failure_prob must be in [0, 1]")
+        if self.eviction_rate_per_s < 0:
+            raise ValueError("eviction_rate_per_s must be >= 0")
+
+    def sample_start_failure(self, rng: random.Random) -> bool:
+        """True when this attempt dies on arrival (bad node)."""
+        return rng.random() < self.start_failure_prob
+
+    def sample_eviction_time(self, rng: random.Random) -> float:
+        """Time until the owner preempts this slot (may be ``inf``)."""
+        if self.eviction_rate_per_s == 0:
+            return math.inf
+        return rng.expovariate(self.eviction_rate_per_s)
+
+
+#: The campus-cluster regime: "we encountered no failures … on Sandhills".
+NO_FAILURES = FailureModel()

@@ -1,0 +1,27 @@
+"""Shared utilities: units, text tables, DOT emission, and I/O helpers.
+
+These are deliberately dependency-light: everything in :mod:`repro.util`
+may be imported from any other subpackage without creating cycles.
+"""
+
+from repro.util.units import (
+    format_bytes,
+    format_duration,
+    parse_bytes,
+    parse_duration,
+)
+from repro.util.tables import Table
+from repro.util.dot import DotGraph
+from repro.util.iolib import atomic_write, file_checksum, sha256_text
+
+__all__ = [
+    "format_bytes",
+    "format_duration",
+    "parse_bytes",
+    "parse_duration",
+    "Table",
+    "DotGraph",
+    "atomic_write",
+    "file_checksum",
+    "sha256_text",
+]

@@ -1,0 +1,83 @@
+"""Filesystem helpers: atomic writes and content checksums.
+
+Workflow tools must never leave half-written catalogs, DAG files, or
+rescue files behind when interrupted — DAGMan in particular re-reads its
+own outputs on recovery. ``atomic_write`` gives all writers
+write-to-temp-then-rename semantics on the same filesystem.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import os
+import tempfile
+from pathlib import Path
+from typing import TextIO
+
+__all__ = [
+    "atomic_write",
+    "file_checksum",
+    "sha256_text",
+    "open_text_auto",
+    "write_text_auto",
+]
+
+
+def atomic_write(path: str | Path, data: str | bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp file + rename).
+
+    Parent directories are created as needed. Returns the final path.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    mode = "wb" if isinstance(data, bytes) else "w"
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        with os.fdopen(fd, mode) as fh:
+            fh.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def file_checksum(path: str | Path, *, algorithm: str = "sha256") -> str:
+    """Hex digest of a file's contents, streaming in 1 MiB chunks."""
+    digest = hashlib.new(algorithm)
+    with open(path, "rb") as fh:
+        while chunk := fh.read(1 << 20):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def sha256_text(text: str) -> str:
+    """SHA-256 hex digest of a UTF-8 string (used for replica catalog
+    entries and deterministic file ids)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def open_text_auto(path: str | Path) -> TextIO:
+    """Open a text file for reading, transparently gunzipping ``.gz``.
+
+    Real sequencing data ships compressed (the paper's 404 MB
+    ``transcripts.fasta`` would normally live as ``.fasta.gz``); the
+    FASTA/FASTQ/tabular readers route through here so both forms work.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def write_text_auto(path: str | Path, data: str) -> Path:
+    """Atomically write text, gzip-compressing when ``path`` ends ``.gz``."""
+    path = Path(path)
+    if path.suffix == ".gz":
+        return atomic_write(path, gzip.compress(data.encode("utf-8")))
+    return atomic_write(path, data)

@@ -1,0 +1,101 @@
+"""``pegasus-analyzer`` equivalent: explain what went wrong.
+
+Given a DAGMan result, produce the familiar post-mortem: per-job attempt
+history for everything that failed, which jobs never became runnable
+because an ancestor failed, and a one-line verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dagman.events import JobAttempt
+from repro.dagman.scheduler import DagmanResult, NodeState
+
+__all__ = ["JobDiagnosis", "AnalyzerReport", "analyze", "render_analysis"]
+
+
+@dataclass(frozen=True)
+class JobDiagnosis:
+    """One failed job's story."""
+
+    job_name: str
+    attempts: tuple[JobAttempt, ...]
+
+    @property
+    def last_error(self) -> str:
+        for attempt in reversed(self.attempts):
+            if attempt.error:
+                return attempt.error
+        return "(no error recorded)"
+
+    @property
+    def sites_tried(self) -> list[str]:
+        return sorted({a.machine for a in self.attempts})
+
+
+@dataclass
+class AnalyzerReport:
+    """The analyzer's full output."""
+
+    success: bool
+    total_jobs: int
+    done: int
+    failed: list[JobDiagnosis] = field(default_factory=list)
+    unrunnable: list[str] = field(default_factory=list)
+
+    @property
+    def verdict(self) -> str:
+        if self.success:
+            return "all jobs completed successfully"
+        return (
+            f"{len(self.failed)} job(s) failed, "
+            f"{len(self.unrunnable)} never became runnable"
+        )
+
+
+def analyze(result: DagmanResult) -> AnalyzerReport:
+    """Build the post-mortem from a DAGMan result."""
+    failed = []
+    for name, state in sorted(result.states.items()):
+        if state is NodeState.FAILED:
+            failed.append(
+                JobDiagnosis(
+                    job_name=name,
+                    attempts=tuple(result.trace.for_job(name)),
+                )
+            )
+    return AnalyzerReport(
+        success=result.success,
+        total_jobs=len(result.states),
+        done=sum(
+            1 for s in result.states.values() if s is NodeState.DONE
+        ),
+        failed=failed,
+        unrunnable=result.unrunnable_jobs,
+    )
+
+
+def render_analysis(report: AnalyzerReport) -> str:
+    """Human-readable analyzer output."""
+    lines = [
+        "************************************",
+        f"* analyzer: {report.verdict}",
+        "************************************",
+        f"total jobs: {report.total_jobs}   done: {report.done}   "
+        f"failed: {len(report.failed)}   unrunnable: {len(report.unrunnable)}",
+    ]
+    for diag in report.failed:
+        lines.append("")
+        lines.append(f"==== {diag.job_name} ====")
+        for attempt in diag.attempts:
+            lines.append(
+                f"  attempt {attempt.attempt}: {attempt.status.value} on "
+                f"{attempt.machine} (site {attempt.site}) after "
+                f"{attempt.total_time:.0f}s"
+            )
+        lines.append(f"  last error: {diag.last_error.strip().splitlines()[-1]}")
+    if report.unrunnable:
+        lines.append("")
+        lines.append("jobs blocked by failed ancestors: " + ", ".join(report.unrunnable))
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Command-line tools mirroring the Pegasus user experience.
+
+The paper's §III workflow: ``pegasus-plan`` → ``pegasus-run`` →
+``pegasus-status`` → ``pegasus-statistics`` / ``pegasus-analyzer``.
+Our equivalents operate on a *submit directory*:
+
+* ``repro-plan``   — build the blast2cap3 DAX for a given *n*, plan it
+  for a site, and write ``workflow.dax`` + ``workflow.dag`` into the
+  submit directory;
+* ``repro-run``    — execute the planned workflow on the simulated
+  platform and write ``trace.jsonl``;
+* ``repro-status`` — print progress from ``trace.jsonl``;
+* ``repro-statistics`` — print the pegasus-statistics report;
+* ``repro-analyzer``   — print the failure post-mortem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.util.iolib import atomic_write
+
+__all__ = [
+    "main_plan",
+    "main_run",
+    "main_status",
+    "main_statistics",
+    "main_analyzer",
+    "main_plots",
+]
+
+PLAN_FILE = "plan.json"
+TRACE_FILE = "trace.jsonl"
+
+
+def _submit_dir(path: str) -> Path:
+    d = Path(path)
+    d.mkdir(parents=True, exist_ok=True)
+    return d
+
+
+def main_plan(argv: list[str] | None = None) -> int:
+    """``repro-plan``: DAX + executable DAG into a submit directory."""
+    parser = argparse.ArgumentParser(
+        prog="repro-plan",
+        description="Plan the blast2cap3 workflow for a site (paper scale).",
+    )
+    parser.add_argument("--submit-dir", required=True)
+    parser.add_argument("-n", "--clusters", type=int, default=100,
+                        help="number of transcript cluster partitions")
+    parser.add_argument("--site", choices=("sandhills", "osg", "cloud"),
+                        default="sandhills")
+    parser.add_argument("--retries", type=int, default=5)
+    parser.add_argument("--cluster-size", type=int, default=1,
+                        help="horizontal task clustering (Pegasus-style)")
+    parser.add_argument("--cleanup", action="store_true",
+                        help="add cleanup jobs for intermediate files")
+    args = parser.parse_args(argv)
+
+    from repro.core.workflow_factory import build_blast2cap3_adag, default_catalogs
+    from repro.perfmodel.task_models import PaperTaskModel
+    from repro.wms.planner import PlannerOptions, plan
+
+    submit = _submit_dir(args.submit_dir)
+    model = PaperTaskModel()
+    adag = build_blast2cap3_adag(args.clusters, model=model)
+    adag.write(submit / "workflow.dax")
+
+    sites, transformations, replicas = default_catalogs()
+    planned = plan(
+        adag,
+        site_name=args.site,
+        sites=sites,
+        transformations=transformations,
+        replicas=replicas,
+        options=PlannerOptions(
+            retries=args.retries,
+            cluster_size=args.cluster_size,
+            add_cleanup=args.cleanup,
+        ),
+    )
+    planned.dag.write_dagfile(submit / "workflow.dag")
+    # Runtimes and decorations do not live in the .dag file; persist
+    # them the way Pegasus persists per-job submit files.
+    plan_meta = {
+        "site": args.site,
+        "n": args.clusters,
+        "jobs": {
+            name: {
+                "transformation": job.transformation,
+                "runtime": job.runtime,
+                "needs_setup": job.needs_setup,
+                "retries": job.retries,
+            }
+            for name, job in planned.dag.jobs.items()
+        },
+        "edges": sorted(planned.dag.edges()),
+    }
+    atomic_write(submit / PLAN_FILE, json.dumps(plan_meta, indent=2))
+    print(f"planned {len(planned.dag)} jobs for site {args.site!r}")
+    print(f"submit dir: {submit}")
+    print(f"run with: repro-run --submit-dir {submit}")
+    return 0
+
+
+def main_run(argv: list[str] | None = None) -> int:
+    """``repro-run``: execute the planned workflow on the simulator."""
+    parser = argparse.ArgumentParser(
+        prog="repro-run", description="Execute a planned workflow (simulated)."
+    )
+    parser.add_argument("--submit-dir", required=True)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    from repro.dagman.dag import Dag, DagJob
+    from repro.dagman.scheduler import DagmanScheduler
+    from repro.sim.cloud import CloudPlatform
+    from repro.sim.cluster import CampusCluster
+    from repro.sim.engine import Simulator
+    from repro.sim.grid import OpportunisticGrid
+    from repro.sim.rng import RngStreams
+    from repro.wms.monitor import write_trace
+
+    submit = Path(args.submit_dir)
+    meta = json.loads((submit / PLAN_FILE).read_text())
+
+    dag = Dag(name=f"blast2cap3-n{meta['n']}-{meta['site']}")
+    for name, spec in meta["jobs"].items():
+        dag.add_job(
+            DagJob(
+                name=name,
+                transformation=spec["transformation"],
+                runtime=spec["runtime"],
+                needs_setup=spec["needs_setup"],
+                retries=spec["retries"],
+            )
+        )
+    for parent, child in meta["edges"]:
+        dag.add_edge(parent, child)
+
+    simulator = Simulator()
+    streams = RngStreams(seed=args.seed)
+    if meta["site"] == "sandhills":
+        env = CampusCluster(simulator, streams=streams)
+    elif meta["site"] == "cloud":
+        env = CloudPlatform(simulator, streams=streams)
+    else:
+        env = OpportunisticGrid(simulator, streams=streams)
+    result = DagmanScheduler(dag, env).run()
+    write_trace(submit / TRACE_FILE, result.trace)
+    print(
+        f"workflow {'succeeded' if result.success else 'FAILED'} in "
+        f"{result.trace.wall_time():.0f} simulated seconds "
+        f"({result.trace.retry_count} retries)"
+    )
+    if isinstance(env, CloudPlatform):
+        print(f"cloud cost: ${env.billed_cost():.2f} "
+              f"({env.instance_seconds():.0f} instance-seconds)")
+    return 0 if result.success else 1
+
+
+def _load_trace(submit_dir: str):
+    from repro.wms.monitor import read_trace
+
+    path = Path(submit_dir) / TRACE_FILE
+    if not path.exists():
+        print(f"no trace at {path}; run repro-run first", file=sys.stderr)
+        raise SystemExit(2)
+    return read_trace(path)
+
+
+def main_status(argv: list[str] | None = None) -> int:
+    """``repro-status``: one-line progress summary."""
+    parser = argparse.ArgumentParser(prog="repro-status")
+    parser.add_argument("--submit-dir", required=True)
+    args = parser.parse_args(argv)
+
+    from repro.wms.monitor import progress_line
+
+    submit = Path(args.submit_dir)
+    trace = _load_trace(args.submit_dir)
+    meta = json.loads((submit / PLAN_FILE).read_text())
+    print(progress_line(trace, total_jobs=len(meta["jobs"])))
+    return 0
+
+
+def main_statistics(argv: list[str] | None = None) -> int:
+    """``repro-statistics``: the summary + per-task breakdown report."""
+    parser = argparse.ArgumentParser(prog="repro-statistics")
+    parser.add_argument("--submit-dir", required=True)
+    args = parser.parse_args(argv)
+
+    from repro.wms.statistics import render_report, summarize
+
+    trace = _load_trace(args.submit_dir)
+    print(render_report(summarize(trace), title=args.submit_dir))
+    return 0
+
+
+def main_plots(argv: list[str] | None = None) -> int:
+    """``repro-plots``: text gantt chart and utilization strip."""
+    parser = argparse.ArgumentParser(prog="repro-plots")
+    parser.add_argument("--submit-dir", required=True)
+    parser.add_argument("--width", type=int, default=72)
+    parser.add_argument("--max-rows", type=int, default=40)
+    args = parser.parse_args(argv)
+
+    from repro.wms.plots import gantt, utilization
+
+    trace = _load_trace(args.submit_dir)
+    print(gantt(trace, width=args.width, max_rows=args.max_rows))
+    print()
+    print(utilization(trace))
+    return 0
+
+
+def main_analyzer(argv: list[str] | None = None) -> int:
+    """``repro-analyzer``: failure post-mortem from the trace."""
+    parser = argparse.ArgumentParser(prog="repro-analyzer")
+    parser.add_argument("--submit-dir", required=True)
+    args = parser.parse_args(argv)
+
+    from repro.dagman.events import JobStatus
+
+    trace = _load_trace(args.submit_dir)
+    failures = trace.failures()
+    succeeded = {a.job_name for a in trace.successful()}
+    print(f"attempts: {len(trace)}  failures/evictions: {len(failures)}")
+    hard_failed = sorted(
+        {a.job_name for a in failures if a.job_name not in succeeded}
+    )
+    if not hard_failed:
+        print("all jobs eventually succeeded"
+              + (f" (after {trace.retry_count} retries)" if trace.retry_count else ""))
+        return 0
+    for name in hard_failed:
+        attempts = trace.for_job(name)
+        print(f"==== {name}: {len(attempts)} attempt(s) ====")
+        for a in attempts:
+            status = a.status.value
+            err = f" [{a.error}]" if a.error and a.status is not JobStatus.SUCCEEDED else ""
+            print(f"  #{a.attempt} on {a.machine}: {status}{err}")
+    return 1

@@ -1,0 +1,87 @@
+"""Trace persistence: the monitord-style JSONL event log.
+
+Every finished attempt becomes one JSON line, so logs stream, append,
+and survive crashes (each line is self-contained). ``pegasus-status``
+style progress summaries read the same file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.dagman.events import JobAttempt, JobStatus, WorkflowTrace
+
+__all__ = ["write_trace", "read_trace", "append_attempt", "progress_line"]
+
+_FIELDS = (
+    "job_name",
+    "transformation",
+    "site",
+    "machine",
+    "attempt",
+    "submit_time",
+    "setup_start",
+    "exec_start",
+    "exec_end",
+)
+
+
+def _to_dict(attempt: JobAttempt) -> dict:
+    record = {name: getattr(attempt, name) for name in _FIELDS}
+    record["status"] = attempt.status.value
+    if attempt.error:
+        record["error"] = attempt.error
+    return record
+
+
+def _from_dict(record: dict) -> JobAttempt:
+    return JobAttempt(
+        status=JobStatus(record["status"]),
+        error=record.get("error"),
+        **{name: record[name] for name in _FIELDS},
+    )
+
+
+def append_attempt(path: str | Path, attempt: JobAttempt) -> None:
+    """Append one attempt to a JSONL log (creating it if needed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(_to_dict(attempt)) + "\n")
+
+
+def write_trace(path: str | Path, trace: WorkflowTrace | Iterable[JobAttempt]) -> int:
+    """Write a whole trace as JSONL; returns the attempt count."""
+    attempts = list(trace)
+    payload = "".join(json.dumps(_to_dict(a)) + "\n" for a in attempts)
+    from repro.util.iolib import atomic_write
+
+    atomic_write(path, payload)
+    return len(attempts)
+
+
+def read_trace(path: str | Path) -> WorkflowTrace:
+    """Load a JSONL event log back into a trace."""
+    trace = WorkflowTrace()
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        trace.add(_from_dict(json.loads(line)))
+    return trace
+
+
+def progress_line(trace: WorkflowTrace, total_jobs: int) -> str:
+    """A ``pegasus-status`` style one-liner.
+
+    >>> from repro.dagman.events import WorkflowTrace
+    >>> progress_line(WorkflowTrace(), 10)
+    '0/10 jobs done (0.0%), 0 failures, 0 retries'
+    """
+    done = len({a.job_name for a in trace.successful()})
+    pct = 100.0 * done / total_jobs if total_jobs else 0.0
+    return (
+        f"{done}/{total_jobs} jobs done ({pct:.1f}%), "
+        f"{len(trace.failures())} failures, {trace.retry_count} retries"
+    )

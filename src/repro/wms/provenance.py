@@ -1,0 +1,126 @@
+"""Provenance tracking: where every file came from.
+
+§III: "Pegasus has capabilities for provenance tracking, execution
+monitoring and management, and error recovery." This module implements
+the tracking half: a queryable record of which job produced each
+logical file from which inputs (*prospective* provenance, from the
+abstract workflow), optionally joined with the execution trace
+(*retrospective* provenance: which machine, when, after how many
+attempts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dagman.events import JobAttempt, WorkflowTrace
+from repro.wms.dax import ADag
+
+__all__ = ["Derivation", "ProvenanceDB"]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One step of a file's history."""
+
+    file: str
+    producer: str  # job id ("" for workflow-external inputs)
+    transformation: str
+    inputs: tuple[str, ...]
+    #: filled by record_run(): the successful attempt that made it
+    attempt: JobAttempt | None = None
+
+
+class ProvenanceDB:
+    """Prospective + retrospective provenance for one workflow."""
+
+    def __init__(self, adag: ADag) -> None:
+        self.adag = adag
+        self._producer_of: dict[str, str] = adag.producers()
+        self._inputs_of: dict[str, tuple[str, ...]] = {
+            job.id: tuple(f.name for f in job.inputs())
+            for job in adag.jobs.values()
+        }
+        self._attempts: dict[str, JobAttempt] = {}
+
+    # -- recording --------------------------------------------------------
+
+    def record_run(self, trace: WorkflowTrace) -> int:
+        """Attach the final successful attempt of each job; returns the
+        number of jobs with recorded execution."""
+        for attempt in trace.successful():
+            self._attempts[attempt.job_name] = attempt
+        return len(self._attempts)
+
+    # -- queries ------------------------------------------------------------
+
+    def producer(self, file_name: str) -> str | None:
+        """Job id that outputs ``file_name`` (None for external inputs)."""
+        return self._producer_of.get(file_name)
+
+    def derivation(self, file_name: str) -> Derivation:
+        """The immediate derivation step of a file."""
+        producer = self._producer_of.get(file_name)
+        if producer is None:
+            return Derivation(
+                file=file_name, producer="", transformation="(external)",
+                inputs=(),
+            )
+        job = self.adag.jobs[producer]
+        return Derivation(
+            file=file_name,
+            producer=producer,
+            transformation=job.transformation,
+            inputs=self._inputs_of[producer],
+            attempt=self._attempts.get(producer),
+        )
+
+    def lineage(self, file_name: str) -> list[Derivation]:
+        """Every derivation step reachable from ``file_name`` back to
+        the workflow-external inputs, deduplicated, leaf-first."""
+        seen: set[str] = set()
+        order: list[Derivation] = []
+
+        def visit(name: str) -> None:
+            if name in seen:
+                return
+            seen.add(name)
+            step = self.derivation(name)
+            for parent in step.inputs:
+                visit(parent)
+            order.append(step)
+
+        visit(file_name)
+        return order
+
+    def contributing_jobs(self, file_name: str) -> list[str]:
+        """Ids of every job that transitively contributed to a file."""
+        return [d.producer for d in self.lineage(file_name) if d.producer]
+
+    def external_sources(self, file_name: str) -> list[str]:
+        """The workflow-external inputs a file ultimately derives from."""
+        return [
+            d.file for d in self.lineage(file_name) if not d.producer
+        ]
+
+    # -- reporting ------------------------------------------------------------
+
+    def report(self, file_name: str) -> str:
+        """Human-readable derivation history of one file."""
+        lines = [f"provenance of {file_name!r}:"]
+        for step in reversed(self.lineage(file_name)):
+            if not step.producer:
+                lines.append(f"  {step.file}  <- external input")
+                continue
+            execution = ""
+            if step.attempt is not None:
+                a = step.attempt
+                execution = (
+                    f"  [ran on {a.machine} at t={a.exec_start:.0f}s, "
+                    f"attempt {a.attempt}]"
+                )
+            lines.append(
+                f"  {step.file}  <- {step.transformation}"
+                f"({', '.join(step.inputs)}){execution}"
+            )
+        return "\n".join(lines)

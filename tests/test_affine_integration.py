@@ -1,0 +1,90 @@
+"""Integration tests: affine gaps through BLAST and CAP3."""
+
+import random
+
+import pytest
+
+from repro.bio.fasta import FastaRecord
+from repro.blast.blastx import BlastXParams, blastx
+from repro.blast.database import ProteinDatabase
+from repro.cap3.assembler import Cap3Params, assemble
+
+
+def random_dna(rng, n):
+    return "".join(rng.choice("ACGT") for _ in range(n))
+
+
+CODON_FOR = {
+    "A": "GCT", "R": "CGT", "N": "AAT", "D": "GAT", "C": "TGT",
+    "Q": "CAA", "E": "GAA", "G": "GGT", "H": "CAT", "I": "ATT",
+    "L": "CTT", "K": "AAA", "M": "ATG", "F": "TTT", "P": "CCT",
+    "S": "TCT", "T": "ACT", "W": "TGG", "Y": "TAT", "V": "GTT",
+}
+
+
+class TestBlastXAffine:
+    @pytest.fixture(scope="class")
+    def db(self):
+        rng = random.Random(99)
+        protein = "".join(rng.choice(list(CODON_FOR)) for _ in range(90))
+        return protein, ProteinDatabase(
+            records=[FastaRecord(id="prot", seq=protein)]
+        )
+
+    def test_affine_finds_same_subject(self, db):
+        protein, database = db
+        dna = "".join(CODON_FOR[aa] for aa in protein)
+        query = FastaRecord(id="q", seq=dna)
+        linear = blastx(query, database, BlastXParams(affine=False))
+        affine = blastx(query, database, BlastXParams(affine=True))
+        assert linear and affine
+        assert affine[0].sseqid == linear[0].sseqid == "prot"
+
+    def test_affine_spans_deletion_better(self, db):
+        protein, database = db
+        # Delete 4 residues from the middle of the coding sequence: a
+        # 4-aa gap costs 11+3*1=14 affine vs 4*11=44 linear.
+        dna = "".join(CODON_FOR[aa] for aa in protein[:40] + protein[44:])
+        query = FastaRecord(id="q", seq=dna)
+        affine = blastx(query, database, BlastXParams(affine=True))
+        linear = blastx(query, database, BlastXParams(affine=False))
+        assert affine, "affine search must find the gapped homolog"
+        best_affine = affine[0]
+        assert best_affine.gapopen >= 1
+        # The affine hit bridges the deletion in one alignment.
+        assert best_affine.length >= 80
+        if linear:
+            assert best_affine.bitscore >= linear[0].bitscore
+
+
+class TestCap3Affine:
+    def test_affine_assembly_merges_indel_reads(self):
+        rng = random.Random(7)
+        genome = random_dna(rng, 500)
+        # Read b lost 3 consecutive bases inside the overlap region.
+        a = genome[:300]
+        b_full = genome[180:]
+        b = b_full[:60] + b_full[63:]
+        reads = [FastaRecord(id="a", seq=a), FastaRecord(id="b", seq=b)]
+        result = assemble(
+            reads,
+            Cap3Params(affine=True, gap_open=-8, gap_extend=-1,
+                       min_identity=0.85),
+        )
+        assert len(result.contigs) == 1
+
+    def test_affine_matches_linear_on_clean_data(self):
+        rng = random.Random(8)
+        genome = random_dna(rng, 600)
+        reads = [
+            FastaRecord(id=f"r{i}", seq=genome[s : s + 250])
+            for i, s in enumerate((0, 150, 300, 350))
+        ]
+        linear = assemble(reads, Cap3Params(affine=False))
+        affine = assemble(reads, Cap3Params(affine=True))
+        assert len(linear.contigs) == len(affine.contigs) == 1
+        assert set(linear.contigs[0].members) == set(affine.contigs[0].members)
+
+    def test_params_carry_affine_fields(self):
+        p = Cap3Params(affine=True, gap_open=-10, gap_extend=-1)
+        assert p.affine and p.gap_open == -10

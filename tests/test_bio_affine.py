@@ -1,0 +1,164 @@
+"""Tests for the affine-gap (Gotoh) alignment kernels."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bio.affine import (
+    affine_align,
+    affine_global,
+    affine_local,
+    affine_overlap,
+)
+from repro.bio.alignment import (
+    AlignmentMode,
+    global_align,
+    local_align,
+)
+from repro.bio.matrices import blosum62, dna_matrix
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=40)
+
+
+class TestAffineGlobal:
+    def test_identical(self):
+        res = affine_global("MEDLKV", "MEDLKV")
+        assert res.identity == 1.0
+        assert res.score == sum(blosum62().score(c, c) for c in "MEDLKV")
+
+    def test_one_long_gap_beats_two_short(self):
+        # A 2-gap costs open+extend; two 1-gaps cost 2*open.
+        m = dna_matrix(match=2, mismatch=-7)
+        res = affine_global(
+            "AACCGGTT", "AAGGTT", matrix=m, gap_open=-5, gap_extend=-1
+        )
+        # Expect one contiguous 2-base gap in b's row.
+        assert "--" in res.aligned_b
+        assert res.score == 6 * 2 + (-5) + (-1)
+
+    def test_empty_vs_nonempty(self):
+        res = affine_global("", "ACG", matrix=dna_matrix(),
+                            gap_open=-5, gap_extend=-1)
+        assert res.score == -5 - 1 - 1
+        assert res.aligned_a == "---"
+
+    def test_both_empty(self):
+        res = affine_global("", "")
+        assert res.score == 0
+        assert res.length == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="negative"):
+            affine_global("A", "A", gap_open=0)
+        with pytest.raises(ValueError, match="no more than"):
+            affine_global("A", "A", gap_open=-2, gap_extend=-5)
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruction(self, a, b):
+        res = affine_global(a, b, matrix=dna_matrix(), gap_open=-5,
+                            gap_extend=-1)
+        assert res.aligned_a.replace("-", "") == a
+        assert res.aligned_b.replace("-", "") == b
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_equals_linear_when_open_equals_extend(self, a, b):
+        m = dna_matrix()
+        affine = affine_global(a, b, matrix=m, gap_open=-4, gap_extend=-4)
+        linear = global_align(a, b, matrix=m, gap=-4)
+        assert affine.score == linear.score
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_never_below_linear_with_extend_cost(self, a, b):
+        # Affine with extend cheaper than open can only help.
+        m = dna_matrix()
+        affine = affine_global(a, b, matrix=m, gap_open=-4, gap_extend=-1)
+        linear = global_align(a, b, matrix=m, gap=-4)
+        assert affine.score >= linear.score
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_score_matches_alignment_rescoring(self, a, b):
+        m = dna_matrix()
+        open_, extend = -5, -2
+        res = affine_global(a, b, matrix=m, gap_open=open_, gap_extend=extend)
+        score = 0
+        in_gap_a = in_gap_b = False
+        for x, y in zip(res.aligned_a, res.aligned_b):
+            if x == "-":
+                score += extend if in_gap_a else open_
+                in_gap_a, in_gap_b = True, False
+            elif y == "-":
+                score += extend if in_gap_b else open_
+                in_gap_b, in_gap_a = True, False
+            else:
+                score += m.score(x, y)
+                in_gap_a = in_gap_b = False
+        assert score == res.score
+
+
+class TestAffineLocal:
+    def test_finds_embedded_match(self):
+        res = affine_local(
+            "TTTTACGTACGTTTTT", "GGGGACGTACGGGG",
+            matrix=dna_matrix(), gap_open=-5, gap_extend=-2,
+        )
+        assert res.aligned_a == "ACGTACG"
+        assert res.identity == 1.0
+
+    def test_no_positive_segment(self):
+        res = affine_local("AAAA", "TTTT", matrix=dna_matrix())
+        assert res.score == 0
+        assert res.length == 0
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_local_geq_zero_and_spans_reconstruct(self, a, b):
+        res = affine_local(a, b, matrix=dna_matrix(), gap_open=-5,
+                           gap_extend=-2)
+        assert res.score >= 0
+        assert a[res.a_start:res.a_end] == res.aligned_a.replace("-", "")
+        assert b[res.b_start:res.b_end] == res.aligned_b.replace("-", "")
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_linear_sw_when_uniform(self, a, b):
+        m = dna_matrix()
+        affine = affine_local(a, b, matrix=m, gap_open=-3, gap_extend=-3)
+        linear = local_align(a, b, matrix=m, gap=-3)
+        assert affine.score == linear.score
+
+
+class TestAffineOverlap:
+    def test_clean_dovetail(self):
+        a = "TTTTTTTTACGTACGT"
+        b = "ACGTACGTGGGGGGGG"
+        res = affine_overlap(a, b)
+        assert res.a_end == len(a)
+        assert res.b_start == 0
+        assert res.aligned_a == "ACGTACGT"
+
+    def test_containment(self):
+        a = "TTTTACGTACGTTTTT"
+        b = "ACGTACGT"
+        res = affine_overlap(a, b)
+        assert res.b_start == 0 and res.b_end == len(b)
+
+    def test_gapped_overlap_prefers_one_long_gap(self):
+        # suffix of a matches prefix of b except b lost 3 bases.
+        core = "ACGTACGTACGTACGTACGT"
+        a = "TTTTTTTT" + core
+        b = core[:8] + core[11:] + "GGGGGGGG"
+        res = affine_overlap(a, b, gap_open=-6, gap_extend=-1)
+        assert "---" in res.aligned_b
+        assert res.mode is AlignmentMode.OVERLAP
+
+    @given(dna.filter(lambda s: len(s) >= 12))
+    @settings(max_examples=40, deadline=None)
+    def test_split_reads_overlap(self, seq):
+        third = len(seq) // 3
+        a, b = seq[: 2 * third + 2], seq[third:]
+        res = affine_overlap(a, b)
+        assert res.a_end == len(a) or res.b_end == len(b)
+        assert res.score >= 0 or len(seq) < 15

@@ -1,0 +1,148 @@
+"""Tests for the alignment kernels (global / local / overlap DP)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bio.alignment import (
+    AlignmentMode,
+    global_align,
+    local_align,
+    overlap_align,
+)
+from repro.bio.matrices import blosum62, dna_matrix
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=60)
+
+
+class TestGlobalAlign:
+    def test_identical_protein(self):
+        res = global_align("MEDLKV", "MEDLKV")
+        assert res.identity == 1.0
+        assert res.score == sum(blosum62().score(c, c) for c in "MEDLKV")
+        assert res.aligned_a == "MEDLKV"
+
+    def test_single_gap(self):
+        res = global_align("ACGT", "ACT", matrix=dna_matrix(), gap=-4)
+        assert res.length == 4
+        assert "-" in res.aligned_b
+        assert res.score == 3 * 2 - 4
+
+    def test_empty_vs_nonempty(self):
+        res = global_align("", "ACG", matrix=dna_matrix(), gap=-4)
+        assert res.score == -12
+        assert res.aligned_a == "---"
+
+    def test_gap_penalty_must_be_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            global_align("A", "A", gap=0)
+
+    @given(dna, dna)
+    @settings(max_examples=50, deadline=None)
+    def test_aligned_strings_reconstruct_inputs(self, a, b):
+        res = global_align(a, b, matrix=dna_matrix(), gap=-3)
+        assert res.aligned_a.replace("-", "") == a
+        assert res.aligned_b.replace("-", "") == b
+        assert len(res.aligned_a) == len(res.aligned_b)
+
+    @given(dna)
+    @settings(max_examples=50, deadline=None)
+    def test_self_alignment_is_perfect(self, a):
+        res = global_align(a, a, matrix=dna_matrix(match=2), gap=-3)
+        assert res.identity == 1.0
+        assert res.score == 2 * len(a)
+
+    @given(dna, dna)
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry_of_score(self, a, b):
+        m = dna_matrix()
+        fwd = global_align(a, b, matrix=m, gap=-3)
+        rev = global_align(b, a, matrix=m, gap=-3)
+        assert fwd.score == rev.score
+
+
+class TestLocalAlign:
+    def test_finds_embedded_match(self):
+        res = local_align(
+            "TTTTACGTACGTTTTT", "GGGGACGTACGGGG", matrix=dna_matrix(), gap=-4
+        )
+        assert res.aligned_a == "ACGTACG"
+        assert res.identity == 1.0
+
+    def test_no_positive_segment(self):
+        res = local_align("AAAA", "TTTT", matrix=dna_matrix(), gap=-4)
+        assert res.score == 0
+        assert res.length == 0
+
+    def test_coordinates_point_into_originals(self):
+        a, b = "XXXMEDLKVXXX", "PPPMEDLKVPPP"
+        res = local_align(a, b)
+        assert a[res.a_start : res.a_end] == res.aligned_a.replace("-", "")
+        assert b[res.b_start : res.b_end] == res.aligned_b.replace("-", "")
+
+    @given(dna, dna)
+    @settings(max_examples=50, deadline=None)
+    def test_local_score_nonnegative_and_geq_pieces(self, a, b):
+        res = local_align(a, b, matrix=dna_matrix(), gap=-3)
+        assert res.score >= 0
+
+    @given(dna, dna)
+    @settings(max_examples=50, deadline=None)
+    def test_local_at_least_global(self, a, b):
+        m = dna_matrix()
+        assert (
+            local_align(a, b, matrix=m, gap=-3).score
+            >= global_align(a, b, matrix=m, gap=-3).score
+        )
+
+    @given(dna, dna)
+    @settings(max_examples=50, deadline=None)
+    def test_spans_reconstruct(self, a, b):
+        res = local_align(a, b, matrix=dna_matrix(), gap=-3)
+        assert a[res.a_start : res.a_end] == res.aligned_a.replace("-", "")
+        assert b[res.b_start : res.b_end] == res.aligned_b.replace("-", "")
+
+
+class TestOverlapAlign:
+    def test_clean_dovetail(self):
+        # suffix of a == prefix of b, overlap of 8
+        a = "TTTTTTTTACGTACGT"
+        b = "ACGTACGTGGGGGGGG"
+        res = overlap_align(a, b)
+        assert res.a_end == len(a)
+        assert res.b_start == 0
+        assert res.aligned_a == "ACGTACGT"
+        assert res.identity == 1.0
+
+    def test_containment_detected(self):
+        a = "TTTTACGTACGTTTTT"
+        b = "ACGTACGT"
+        res = overlap_align(a, b)
+        assert res.b_start == 0
+        assert res.b_end == len(b)
+        assert res.identity == 1.0
+
+    def test_no_overlap_scores_low(self):
+        res = overlap_align("AAAAAAAA", "TTTTTTTT")
+        # Best dovetail of unrelated sequences is tiny or negative.
+        assert res.score <= 2
+
+    def test_mode_recorded(self):
+        assert overlap_align("ACGT", "ACGT").mode is AlignmentMode.OVERLAP
+
+    @given(dna, dna)
+    @settings(max_examples=50, deadline=None)
+    def test_overlap_ends_at_a_end_or_b_end(self, a, b):
+        res = overlap_align(a, b)
+        assert res.a_end == len(a) or res.b_end == len(b)
+
+    @given(dna.filter(lambda s: len(s) >= 10))
+    @settings(max_examples=50, deadline=None)
+    def test_split_reads_overlap_perfectly(self, seq):
+        # Take two overlapping windows of one sequence; the dovetail
+        # must recover at least the shared region's score.
+        third = len(seq) // 3
+        a = seq[: 2 * third + third // 2]
+        b = seq[third:]
+        res = overlap_align(a, b)
+        shared = len(a) - third
+        assert res.score >= 2 * shared - 6  # allow one gap's slack

@@ -1,0 +1,145 @@
+"""End-to-end tests of the BLASTX driver on constructed transcripts."""
+
+import random
+
+import pytest
+
+from repro.bio.fasta import FastaRecord
+from repro.bio.seq import reverse_complement, translate
+from repro.blast.blastx import BlastXParams, blastx, blastx_many
+from repro.blast.database import ProteinDatabase
+
+#: One representative codon per amino acid, for reverse translation.
+CODON_FOR = {
+    "A": "GCT", "R": "CGT", "N": "AAT", "D": "GAT", "C": "TGT",
+    "Q": "CAA", "E": "GAA", "G": "GGT", "H": "CAT", "I": "ATT",
+    "L": "CTT", "K": "AAA", "M": "ATG", "F": "TTT", "P": "CCT",
+    "S": "TCT", "T": "ACT", "W": "TGG", "Y": "TAT", "V": "GTT",
+}
+
+
+def reverse_translate(protein: str) -> str:
+    return "".join(CODON_FOR[aa] for aa in protein)
+
+
+def random_protein(rng: random.Random, n: int) -> str:
+    return "".join(rng.choice(list(CODON_FOR)) for _ in range(n))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(42)
+    prot_a = random_protein(rng, 80)
+    prot_b = random_protein(rng, 70)
+    db = ProteinDatabase(
+        records=[
+            FastaRecord(id="protA", seq=prot_a),
+            FastaRecord(id="protB", seq=prot_b),
+        ]
+    )
+    return rng, prot_a, prot_b, db
+
+
+class TestBlastX:
+    def test_forward_frame_hit(self, setup):
+        rng, prot_a, _, db = setup
+        dna = "GG" + reverse_translate(prot_a) + "AA"  # frame +3
+        hits = blastx(FastaRecord(id="t1", seq=dna), db)
+        assert hits, "expected a hit for an exact coding transcript"
+        best = hits[0]
+        assert best.sseqid == "protA"
+        assert best.pident > 95.0
+        assert not best.is_minus_frame
+        # The aligned DNA span must translate back to the protein span.
+        frame_offset = (best.qstart - 1) % 3
+        assert translate(dna, frame=frame_offset)  # sanity: frame valid
+
+    def test_reverse_frame_hit(self, setup):
+        rng, prot_a, _, db = setup
+        dna = reverse_complement("G" + reverse_translate(prot_a) + "AA")
+        hits = blastx(FastaRecord(id="t2", seq=dna), db)
+        assert hits
+        best = hits[0]
+        assert best.sseqid == "protA"
+        assert best.is_minus_frame
+
+    def test_coordinates_cover_coding_region(self, setup):
+        rng, prot_a, _, db = setup
+        prefix, suffix = "GGAGG", "TTCTT"
+        dna = prefix + reverse_translate(prot_a) + suffix
+        (best, *_) = blastx(FastaRecord(id="t3", seq=dna), db)
+        assert best.qstart >= len(prefix) - 3 + 1
+        assert best.qend <= len(dna) - len(suffix) + 3
+        span = best.qend - best.qstart + 1
+        assert span >= 3 * 70  # most of the 80-aa protein
+
+    def test_unrelated_query_no_hits(self, setup):
+        rng, _, _, db = setup
+        dna = "".join(random.Random(7).choice("ACGT") for _ in range(400))
+        hits = blastx(FastaRecord(id="noise", seq=dna), db)
+        assert hits == []
+
+    def test_diverged_homolog_still_hits(self, setup):
+        rng, prot_a, _, db = setup
+        # Mutate ~10% of residues; BLASTX must still find it.
+        mutated = list(prot_a)
+        positions = rng.sample(range(len(mutated)), 8)
+        for p in positions:
+            mutated[p] = rng.choice(list(CODON_FOR))
+        dna = reverse_translate("".join(mutated))
+        hits = blastx(FastaRecord(id="t4", seq=dna), db)
+        assert hits
+        assert hits[0].sseqid == "protA"
+        assert hits[0].pident < 100.0
+
+    def test_two_subjects_distinguished(self, setup):
+        rng, prot_a, prot_b, db = setup
+        dna = reverse_translate(prot_b)
+        hits = blastx(FastaRecord(id="t5", seq=dna), db)
+        assert hits[0].sseqid == "protB"
+
+    def test_chimeric_query_hits_both(self, setup):
+        rng, prot_a, prot_b, db = setup
+        dna = reverse_translate(prot_a[:50]) + reverse_translate(prot_b[:50])
+        hits = blastx(FastaRecord(id="chimera", seq=dna), db)
+        subjects = {h.sseqid for h in hits}
+        assert subjects == {"protA", "protB"}
+
+    def test_evalue_cutoff_respected(self, setup):
+        rng, prot_a, _, db = setup
+        dna = reverse_translate(prot_a)
+        strict = BlastXParams(evalue_cutoff=1e-300)
+        assert blastx(FastaRecord(id="t6", seq=dna), db, strict) == []
+
+    def test_hits_sorted_by_evalue(self, setup):
+        rng, prot_a, prot_b, db = setup
+        dna = reverse_translate(prot_a) + reverse_translate(prot_b[:30])
+        hits = blastx(FastaRecord(id="t7", seq=dna), db)
+        evalues = [h.evalue for h in hits]
+        assert evalues == sorted(evalues)
+
+    def test_blastx_many_groups_by_query(self, setup):
+        rng, prot_a, prot_b, db = setup
+        queries = [
+            FastaRecord(id="q1", seq=reverse_translate(prot_a)),
+            FastaRecord(id="q2", seq=reverse_translate(prot_b)),
+        ]
+        hits = list(blastx_many(queries, db))
+        qids = [h.qseqid for h in hits]
+        assert qids == sorted(qids, key=lambda q: ["q1", "q2"].index(q))
+        assert {h.qseqid for h in hits} == {"q1", "q2"}
+
+    def test_one_hit_mode_finds_at_least_two_hit_results(self, setup):
+        rng, prot_a, _, db = setup
+        dna = reverse_translate(prot_a)
+        q = FastaRecord(id="t8", seq=dna)
+        two = blastx(q, db, BlastXParams(two_hit=True))
+        one = blastx(q, db, BlastXParams(two_hit=False))
+        assert one and two
+        assert one[0].bitscore >= two[0].bitscore - 1e-9
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            BlastXParams(gap=1)
+        with pytest.raises(ValueError):
+            BlastXParams(evalue_cutoff=0.0)

@@ -1,0 +1,129 @@
+"""Tests for HSP extension and tabular I/O."""
+
+import io
+
+import pytest
+
+from repro.bio.matrices import blosum62
+from repro.blast.extend import UngappedHSP, gapped_extend, ungapped_extend
+from repro.blast.tabular import TabularHit, parse_line, read_tabular, write_tabular
+
+M = blosum62()
+
+
+class TestUngappedExtend:
+    def test_extends_over_identical_region(self):
+        q = M.encode("XXXXMEDLKVWXXXX")
+        s = M.encode("PPPPMEDLKVWPPPP")
+        hsp = ungapped_extend(q, s, 6, 6, M.matrix, x_drop=16)
+        assert hsp.q_start <= 4
+        assert hsp.q_end >= 11
+        assert hsp.score > 0
+
+    def test_stops_at_xdrop(self):
+        # Identical core flanked by strongly negative context.
+        q = M.encode("WWWW" + "MEDLKV" + "WWWW")
+        s = M.encode("CCCC" + "MEDLKV" + "CCCC")
+        hsp = ungapped_extend(q, s, 4, 4, M.matrix, x_drop=5)
+        assert hsp.q_start == 4
+        assert hsp.q_end == 10
+
+    def test_anchor_validation(self):
+        q = M.encode("MEDL")
+        with pytest.raises(ValueError, match="anchor"):
+            ungapped_extend(q, q, 10, 0, M.matrix)
+
+    def test_hsp_span_validation(self):
+        with pytest.raises(ValueError, match="equal length"):
+            UngappedHSP(q_start=0, q_end=5, s_start=0, s_end=4, score=10)
+
+    def test_score_is_sum_of_parts(self):
+        q = M.encode("MEDLKV")
+        hsp = ungapped_extend(q, q, 3, 3, M.matrix, x_drop=100)
+        expected = sum(M.score(c, c) for c in "MEDLKV")
+        assert hsp.score == expected
+        assert (hsp.q_start, hsp.q_end) == (0, 6)
+
+
+class TestGappedExtend:
+    def test_recovers_gapped_alignment(self):
+        # Query has a 2-residue insertion relative to subject.
+        query = "AAAAMEDLKVWWGGMEDLKVWWAAAA"
+        subject = "PPPPMEDLKVWWMEDLKVWWPPPP"
+        hsp = UngappedHSP(q_start=4, q_end=12, s_start=4, s_end=12, score=50)
+        aln = gapped_extend(query, subject, hsp, M, gap=-6)
+        assert "-" in aln.aligned_b
+        assert aln.score > 50
+
+    def test_coordinates_in_full_sequence_space(self):
+        query = "X" * 60 + "MEDLKVW" + "X" * 60
+        subject = "P" * 30 + "MEDLKVW" + "P" * 30
+        hsp = UngappedHSP(q_start=60, q_end=67, s_start=30, s_end=37, score=40)
+        aln = gapped_extend(query, subject, hsp, M, window_pad=10)
+        assert query[aln.a_start : aln.a_end] == aln.aligned_a.replace("-", "")
+        assert subject[aln.b_start : aln.b_end] == aln.aligned_b.replace("-", "")
+        assert "MEDLKVW" in aln.aligned_a
+
+
+class TestTabular:
+    def hit(self, **over):
+        base = dict(
+            qseqid="t1",
+            sseqid="prot9",
+            pident=98.5,
+            length=200,
+            mismatch=3,
+            gapopen=1,
+            qstart=1,
+            qend=600,
+            sstart=1,
+            send=200,
+            evalue=1e-50,
+            bitscore=350.2,
+        )
+        base.update(over)
+        return TabularHit(**base)
+
+    def test_format_parse_roundtrip(self):
+        h = self.hit()
+        assert parse_line(h.format()) == h
+
+    def test_minus_frame_property(self):
+        assert self.hit(qstart=600, qend=1).is_minus_frame
+        assert not self.hit().is_minus_frame
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.hit(pident=150.0)
+        with pytest.raises(ValueError):
+            self.hit(qseqid="")
+        with pytest.raises(ValueError):
+            self.hit(evalue=-1.0)
+        with pytest.raises(ValueError):
+            self.hit(mismatch=-1)
+
+    def test_field_count_enforced(self):
+        with pytest.raises(ValueError, match="12 tab-separated"):
+            parse_line("a\tb\tc")
+
+    def test_stream_roundtrip(self):
+        hits = [self.hit(qseqid=f"t{i}") for i in range(5)]
+        buf = io.StringIO()
+        assert write_tabular(buf, hits) == 5
+        buf.seek(0)
+        assert list(read_tabular(buf)) == hits
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# BLASTX 2.2.28+\n\n" + self.hit().format() + "\n"
+        assert len(list(read_tabular(io.StringIO(text)))) == 1
+
+    def test_path_roundtrip(self, tmp_path):
+        path = tmp_path / "alignments.out"
+        hits = [self.hit(qseqid=f"t{i}") for i in range(3)]
+        write_tabular(path, hits)
+        assert list(read_tabular(path)) == hits
+
+    def test_evalue_rendering(self):
+        assert "0.0" in self.hit(evalue=0.0).format()
+        line = self.hit(evalue=2.5e-30).format()
+        assert "e-30" in line

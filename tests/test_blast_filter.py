@@ -1,0 +1,124 @@
+"""Tests for low-complexity masking and its effect on BLASTX."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bio.fasta import FastaRecord
+from repro.blast.blastx import BlastXParams, blastx
+from repro.blast.database import ProteinDatabase
+from repro.blast.filter import (
+    DNA_MASK,
+    PROTEIN_MASK,
+    MaskParams,
+    mask_low_complexity,
+    masked_fraction,
+    shannon_entropy,
+)
+
+
+class TestEntropy:
+    def test_monotone_cases(self):
+        assert shannon_entropy("AAAA") == 0.0
+        assert shannon_entropy("ACGT") == pytest.approx(2.0)
+        assert 0 < shannon_entropy("AACG") < 2.0
+
+    def test_empty(self):
+        assert shannon_entropy("") == 0.0
+
+    @given(st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_bounds(self, s):
+        h = shannon_entropy(s)
+        assert 0.0 <= h <= shannon_entropy("ACDEFGHIKLMNPQRSTVWY") + 1e-9
+
+
+class TestMasking:
+    def test_homopolymer_masked(self):
+        seq = "MEDLKVWHISTR" + "A" * 30 + "MEDLKVWHISTR"
+        masked = mask_low_complexity(seq)
+        middle = masked[15:40]
+        assert set(middle) == {"X"}
+
+    def test_complex_sequence_untouched(self):
+        rng = random.Random(3)
+        seq = "".join(
+            rng.choice("ACDEFGHIKLMNPQRSTVWY") for _ in range(100)
+        )
+        assert mask_low_complexity(seq) == seq
+
+    def test_short_sequence_passthrough(self):
+        assert mask_low_complexity("AAAA") == "AAAA"  # shorter than window
+
+    def test_dna_preset_masks_polya(self):
+        seq = "ACGTACGTACGTACGTACGTACGTACGTACGT" + "A" * 60 + \
+              "ACGTACGTACGTACGTACGTACGTACGTACGT"
+        masked = mask_low_complexity(seq, DNA_MASK)
+        assert "N" * 30 in masked
+        assert masked.startswith("ACGT")
+
+    def test_masked_fraction(self):
+        assert masked_fraction("A" * 50) == 1.0
+        rng = random.Random(4)
+        complex_seq = "".join(
+            rng.choice("ACDEFGHIKLMNPQRSTVWY") for _ in range(80)
+        )
+        assert masked_fraction(complex_seq) == 0.0
+        assert masked_fraction("") == 0.0
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            MaskParams(window=1, min_entropy=1.0, mask_char="X")
+        with pytest.raises(ValueError):
+            MaskParams(window=10, min_entropy=-1.0, mask_char="X")
+        with pytest.raises(ValueError):
+            MaskParams(window=10, min_entropy=1.0, mask_char="XX")
+
+    @given(st.text(alphabet="ACGT", max_size=200))
+    @settings(max_examples=40)
+    def test_length_preserved(self, seq):
+        assert len(mask_low_complexity(seq, DNA_MASK)) == len(seq)
+
+    @given(st.text(alphabet="ACGT", max_size=200))
+    @settings(max_examples=40)
+    def test_idempotent(self, seq):
+        once = mask_low_complexity(seq, DNA_MASK)
+        assert mask_low_complexity(once, DNA_MASK) == once
+
+
+CODON_FOR = {
+    "A": "GCT", "R": "CGT", "N": "AAT", "D": "GAT", "C": "TGT",
+    "Q": "CAA", "E": "GAA", "G": "GGT", "H": "CAT", "I": "ATT",
+    "L": "CTT", "K": "AAA", "M": "ATG", "F": "TTT", "P": "CCT",
+    "S": "TCT", "T": "ACT", "W": "TGG", "Y": "TAT", "V": "GTT",
+}
+
+
+class TestMaskingInBlastX:
+    def test_polya_tail_stops_spurious_seeding(self):
+        # Subject with a poly-K run (AAA codons = poly-A DNA); a query
+        # that shares ONLY the low-complexity run should lose its hit
+        # once masking is on.
+        rng = random.Random(11)
+        complex_part = "".join(rng.choice(list(CODON_FOR)) for _ in range(60))
+        subject = complex_part + "K" * 25
+        db = ProteinDatabase(records=[FastaRecord(id="p", seq=subject)])
+
+        query_dna = "AAA" * 40  # translates to poly-K in frame +1
+        query = FastaRecord(id="polya", seq=query_dna)
+        unmasked = blastx(query, db, BlastXParams(mask_query=False,
+                                                  evalue_cutoff=10.0))
+        masked = blastx(query, db, BlastXParams(mask_query=True,
+                                                evalue_cutoff=10.0))
+        assert unmasked, "unmasked poly-A query should hit the poly-K run"
+        assert masked == []
+
+    def test_real_homolog_survives_masking(self):
+        rng = random.Random(12)
+        protein = "".join(rng.choice(list(CODON_FOR)) for _ in range(80))
+        db = ProteinDatabase(records=[FastaRecord(id="p", seq=protein)])
+        dna = "".join(CODON_FOR[aa] for aa in protein)
+        query = FastaRecord(id="q", seq=dna)
+        hits = blastx(query, db, BlastXParams(mask_query=True))
+        assert hits and hits[0].sseqid == "p"

@@ -1,0 +1,189 @@
+"""Tests for consensus calling and the assemble() API."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bio.fasta import FastaRecord
+from repro.cap3.assembler import AssemblyResult, Cap3Params, Contig, assemble
+from repro.cap3.consensus import call_consensus
+from repro.cap3.graph import Layout, LayoutRead
+
+
+def random_dna(rng: random.Random, n: int) -> str:
+    return "".join(rng.choice("ACGT") for _ in range(n))
+
+
+def tiled_reads(genome: str, read_len: int, step: int, prefix: str = "r"):
+    """Overlapping windows covering the genome end to end."""
+    starts = list(range(0, max(1, len(genome) - read_len + 1), step))
+    if starts[-1] + read_len < len(genome):
+        starts.append(len(genome) - read_len)
+    return [
+        FastaRecord(id=f"{prefix}{i}", seq=genome[s : s + read_len])
+        for i, s in enumerate(starts)
+    ]
+
+
+class TestConsensus:
+    def test_single_read_layout(self):
+        layout = Layout(reads=[LayoutRead("a", 0, False)])
+        assert call_consensus(layout, {"a": "ACGT"}) == "ACGT"
+
+    def test_two_read_merge(self):
+        genome = "ACGTACGTGGAATTCCAAGGTTACGT"
+        layout = Layout(
+            reads=[LayoutRead("a", 0, False), LayoutRead("b", 10, False)]
+        )
+        reads = {"a": genome[:18], "b": genome[10:]}
+        assert call_consensus(layout, reads) == genome
+
+    def test_majority_outvotes_error(self):
+        genome = "ACGTACGTACGTACGTACGT"
+        bad = "ACGTACGTACGTACGTACGA"  # last base wrong
+        layout = Layout(
+            reads=[
+                LayoutRead("good1", 0, False),
+                LayoutRead("bad", 0, False),
+                LayoutRead("good2", 0, False),
+            ]
+        )
+        reads = {"good1": genome, "bad": bad, "good2": genome}
+        assert call_consensus(layout, reads) == genome
+
+    def test_n_never_wins_against_real_base(self):
+        layout = Layout(
+            reads=[LayoutRead("n", 0, False), LayoutRead("real", 0, False)]
+        )
+        reads = {"n": "NNNN", "real": "ACGT"}
+        assert call_consensus(layout, reads) == "ACGT"
+
+    def test_flipped_read_contributes_revcomp(self):
+        layout = Layout(reads=[LayoutRead("a", 0, True)])
+        assert call_consensus(layout, {"a": "AAAC"}) == "GTTT"
+
+    def test_empty_layout(self):
+        assert call_consensus(Layout(), {}) == ""
+
+
+class TestAssemble:
+    def test_overlapping_reads_merge_into_one_contig(self):
+        rng = random.Random(7)
+        genome = random_dna(rng, 600)
+        reads = tiled_reads(genome, 250, 150)
+        result = assemble(reads)
+        assert len(result.contigs) == 1
+        assert result.singlets == []
+        contig = result.contigs[0]
+        assert set(contig.members) == {r.id for r in reads}
+        # Consensus should reconstruct the genome (near-)exactly.
+        assert contig.seq == genome
+
+    def test_unrelated_reads_stay_singlets(self):
+        rng = random.Random(8)
+        reads = [
+            FastaRecord(id="a", seq=random_dna(rng, 300)),
+            FastaRecord(id="b", seq=random_dna(rng, 300)),
+        ]
+        result = assemble(reads)
+        assert result.contigs == []
+        assert {r.id for r in result.singlets} == {"a", "b"}
+
+    def test_two_genes_two_contigs(self):
+        rng = random.Random(9)
+        g1, g2 = random_dna(rng, 500), random_dna(rng, 500)
+        reads = tiled_reads(g1, 220, 140, "x") + tiled_reads(g2, 220, 140, "y")
+        result = assemble(reads)
+        assert len(result.contigs) == 2
+        assert result.singlets == []
+
+    def test_containment_with_singlet_container_merges_pair(self):
+        rng = random.Random(10)
+        genome = random_dna(rng, 400)
+        reads = [
+            FastaRecord(id="big", seq=genome),
+            FastaRecord(id="small", seq=genome[100:250]),
+        ]
+        result = assemble(reads)
+        assert len(result.contigs) == 1
+        assert set(result.contigs[0].members) == {"big", "small"}
+        assert result.contigs[0].seq == genome
+        assert result.singlets == []
+
+    def test_every_input_accounted_once(self):
+        rng = random.Random(11)
+        g1 = random_dna(rng, 700)
+        reads = tiled_reads(g1, 260, 170) + [
+            FastaRecord(id="lone", seq=random_dna(rng, 280))
+        ]
+        result = assemble(reads)
+        merged = result.merged_read_ids
+        singlet_ids = {r.id for r in result.singlets}
+        assert merged | singlet_ids == {r.id for r in reads}
+        assert merged & singlet_ids == set()
+
+    def test_sequence_count_decreases(self):
+        rng = random.Random(12)
+        genome = random_dna(rng, 800)
+        reads = tiled_reads(genome, 300, 180)
+        result = assemble(reads)
+        assert result.sequence_count() < len(reads)
+
+    def test_error_tolerant_merge(self):
+        rng = random.Random(13)
+        genome = random_dna(rng, 500)
+        a = list(genome[:300])
+        a[50] = "A" if a[50] != "A" else "C"  # one sequencing error
+        reads = [
+            FastaRecord(id="a", seq="".join(a)),
+            FastaRecord(id="b", seq=genome[180:]),
+        ]
+        result = assemble(reads)
+        assert len(result.contigs) == 1
+
+    def test_duplicate_ids_rejected(self):
+        reads = [FastaRecord(id="a", seq="ACGT" * 30)] * 2
+        with pytest.raises(ValueError, match="duplicate"):
+            assemble(reads)
+
+    def test_contig_requires_two_members(self):
+        with pytest.raises(ValueError, match="two reads"):
+            Contig(id="Contig1", seq="ACGT", members=("only",))
+
+    def test_output_records_contigs_then_singlets(self):
+        rng = random.Random(14)
+        genome = random_dna(rng, 500)
+        reads = tiled_reads(genome, 220, 140) + [
+            FastaRecord(id="lone", seq=random_dna(rng, 300))
+        ]
+        result = assemble(reads)
+        records = result.output_records
+        assert records[0].id.startswith("Contig")
+        assert records[-1].id == "lone"
+
+    def test_custom_prefix(self):
+        rng = random.Random(15)
+        genome = random_dna(rng, 500)
+        result = assemble(tiled_reads(genome, 220, 140), contig_prefix="C")
+        assert result.contigs[0].id == "C1"
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            Cap3Params(min_overlap_length=0)
+        with pytest.raises(ValueError):
+            Cap3Params(min_identity=0.0)
+        with pytest.raises(ValueError):
+            Cap3Params(kmer_size=2)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_tiling_property(self, seed):
+        # Any random genome tiled with overlapping windows reassembles
+        # into exactly one contig containing all reads.
+        rng = random.Random(seed)
+        genome = random_dna(rng, 450)
+        reads = tiled_reads(genome, 200, 120)
+        result = assemble(reads)
+        assert len(result.contigs) == 1
+        assert len(result.contigs[0].members) == len(reads)

@@ -1,0 +1,176 @@
+"""Tests for overlap detection, orientation, and greedy layout."""
+
+import random
+
+import pytest
+
+from repro.bio.seq import reverse_complement
+from repro.cap3.graph import build_layouts, orient_reads
+from repro.cap3.overlap import (
+    Overlap,
+    OverlapKind,
+    candidate_pairs,
+    compute_overlap,
+    strands_agree,
+)
+
+
+def random_dna(rng: random.Random, n: int) -> str:
+    return "".join(rng.choice("ACGT") for _ in range(n))
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(1234)
+
+
+class TestCandidatePairs:
+    def test_overlapping_reads_are_candidates(self, rng):
+        genome = random_dna(rng, 300)
+        reads = {"a": genome[:180], "b": genome[120:]}
+        assert ("a", "b") in list(candidate_pairs(reads))
+
+    def test_unrelated_reads_are_not_candidates(self, rng):
+        reads = {"a": random_dna(rng, 200), "b": random_dna(rng, 200)}
+        assert list(candidate_pairs(reads)) == []
+
+    def test_reverse_strand_pair_detected(self, rng):
+        genome = random_dna(rng, 300)
+        reads = {"a": genome[:180], "b": reverse_complement(genome[120:])}
+        assert ("a", "b") in list(candidate_pairs(reads))
+
+    def test_pair_emitted_once(self, rng):
+        genome = random_dna(rng, 300)
+        reads = {"a": genome[:200], "b": genome[100:]}
+        pairs = list(candidate_pairs(reads))
+        assert pairs.count(("a", "b")) == 1
+
+
+class TestStrandsAgree:
+    def test_same_strand(self, rng):
+        genome = random_dna(rng, 200)
+        assert strands_agree(genome[:150], genome[50:])
+
+    def test_opposite_strand(self, rng):
+        genome = random_dna(rng, 200)
+        assert not strands_agree(genome[:150], reverse_complement(genome[50:]))
+
+
+class TestComputeOverlap:
+    def test_dovetail_detected_either_order(self, rng):
+        genome = random_dna(rng, 300)
+        left, right = genome[:180], genome[120:]
+        ov = compute_overlap("x", right, "y", left)
+        assert ov is not None
+        assert ov.kind is OverlapKind.DOVETAIL
+        assert ov.a == "y"  # left read is always `a`
+        assert ov.length >= 55
+
+    def test_containment_detected(self, rng):
+        genome = random_dna(rng, 300)
+        ov = compute_overlap("big", genome, "small", genome[100:200])
+        assert ov is not None
+        assert ov.kind is OverlapKind.CONTAINMENT
+        assert ov.a == "big"
+
+    def test_short_overlap_rejected(self, rng):
+        genome = random_dna(rng, 200)
+        reads = (genome[:110], genome[90:])  # 20bp overlap < 40 default
+        assert compute_overlap("a", reads[0], "b", reads[1]) is None
+
+    def test_low_identity_rejected(self, rng):
+        genome = random_dna(rng, 300)
+        left = genome[:180]
+        right = list(genome[120:])
+        # Mutate a third of the shared region.
+        for i in range(0, 60, 3):
+            right[i] = "A" if right[i] != "A" else "C"
+        assert (
+            compute_overlap("a", left, "b", "".join(right), min_identity=0.9)
+            is None
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Overlap(
+                a="x", b="x", kind=OverlapKind.DOVETAIL,
+                length=50, identity=0.9, score=10, a_start=0,
+            )
+        with pytest.raises(ValueError, match="identity"):
+            Overlap(
+                a="x", b="y", kind=OverlapKind.DOVETAIL,
+                length=50, identity=1.5, score=10, a_start=0,
+            )
+
+
+class TestOrientReads:
+    def test_component_gets_consistent_flips(self, rng):
+        genome = random_dna(rng, 400)
+        reads = {
+            "a": genome[:200],
+            "b": reverse_complement(genome[120:320]),
+            "c": genome[240:],
+        }
+        pairs = [("a", "b"), ("b", "c")]
+        flips = orient_reads(reads, pairs)
+        assert flips["a"] != flips["b"]
+        assert flips["b"] != flips["c"]
+        assert flips["a"] == flips["c"]
+
+    def test_isolated_reads_not_flipped(self):
+        flips = orient_reads({"solo": "ACGTACGTACGT"}, [])
+        assert flips == {"solo": False}
+
+
+class TestBuildLayouts:
+    def test_three_read_chain(self, rng):
+        genome = random_dna(rng, 500)
+        reads = {
+            "r1": genome[:220],
+            "r2": genome[150:380],
+            "r3": genome[300:],
+        }
+        layouts, contained = build_layouts(reads)
+        assert contained == {}
+        assert len(layouts) == 1
+        layout = layouts[0]
+        assert set(layout.read_ids) == {"r1", "r2", "r3"}
+        offsets = {r.read_id: r.offset for r in layout.reads}
+        assert offsets["r1"] < offsets["r2"] < offsets["r3"]
+
+    def test_contained_read_mapped_to_container(self, rng):
+        genome = random_dna(rng, 400)
+        reads = {"big": genome, "small": genome[100:250]}
+        layouts, contained = build_layouts(reads)
+        assert contained == {"small": "big"}
+        assert layouts == []
+
+    def test_unrelated_reads_make_no_layout(self, rng):
+        reads = {
+            "a": random_dna(rng, 200),
+            "b": random_dna(rng, 200),
+        }
+        layouts, contained = build_layouts(reads)
+        assert layouts == []
+        assert contained == {}
+
+    def test_two_separate_chains(self, rng):
+        g1, g2 = random_dna(rng, 300), random_dna(rng, 300)
+        reads = {
+            "a1": g1[:180], "a2": g1[120:],
+            "b1": g2[:180], "b2": g2[120:],
+        }
+        layouts, _ = build_layouts(reads)
+        assert len(layouts) == 2
+        groups = [set(l.read_ids) for l in layouts]
+        assert {"a1", "a2"} in groups
+        assert {"b1", "b2"} in groups
+
+    def test_reverse_strand_read_joins_chain(self, rng):
+        genome = random_dna(rng, 300)
+        reads = {"f": genome[:180], "r": reverse_complement(genome[120:])}
+        layouts, _ = build_layouts(reads)
+        assert len(layouts) == 1
+        assert set(layouts[0].read_ids) == {"f", "r"}
+        flips = {r.read_id: r.flipped for r in layouts[0].reads}
+        assert flips["f"] != flips["r"]

@@ -1,0 +1,121 @@
+"""Tests for the command-line tools (plan/run/status/statistics/analyzer
+and the blast2cap3 driver)."""
+
+import pytest
+
+from repro.bio.fasta import read_fasta, write_fasta
+from repro.blast.tabular import write_tabular
+from repro.core.cli import main as blast2cap3_main
+from repro.datagen.transcripts import TranscriptomeSpec
+from repro.datagen.workload import generate_blast2cap3_workload
+from repro.wms.cli import (
+    main_analyzer,
+    main_plan,
+    main_run,
+    main_statistics,
+    main_status,
+)
+
+
+@pytest.fixture(scope="module")
+def submit_dir(tmp_path_factory):
+    d = tmp_path_factory.mktemp("submit")
+    rc = main_plan(["--submit-dir", str(d), "-n", "20", "--site", "sandhills"])
+    assert rc == 0
+    rc = main_run(["--submit-dir", str(d), "--seed", "1"])
+    assert rc == 0
+    return d
+
+
+class TestPegasusStyleCli:
+    def test_plan_writes_artifacts(self, submit_dir):
+        assert (submit_dir / "workflow.dax").exists()
+        assert (submit_dir / "workflow.dag").exists()
+        assert (submit_dir / "plan.json").exists()
+        dag_text = (submit_dir / "workflow.dag").read_text()
+        assert "JOB run_cap3_1 run_cap3.sub" in dag_text
+
+    def test_run_writes_trace(self, submit_dir):
+        assert (submit_dir / "trace.jsonl").exists()
+
+    def test_status(self, submit_dir, capsys):
+        assert main_status(["--submit-dir", str(submit_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "jobs done (100.0%)" in out
+
+    def test_statistics(self, submit_dir, capsys):
+        assert main_statistics(["--submit-dir", str(submit_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Workflow wall time" in out
+        assert "run_cap3" in out
+
+    def test_analyzer_on_success(self, submit_dir, capsys):
+        assert main_analyzer(["--submit-dir", str(submit_dir)]) == 0
+        assert "succeeded" in capsys.readouterr().out
+
+    def test_status_without_trace_exits_2(self, tmp_path):
+        d = tmp_path / "fresh"
+        main_plan(["--submit-dir", str(d), "-n", "5"])
+        with pytest.raises(SystemExit) as exc:
+            main_status(["--submit-dir", str(d)])
+        assert exc.value.code == 2
+
+    def test_osg_plan_and_run(self, tmp_path, capsys):
+        d = tmp_path / "osg"
+        assert main_plan(["--submit-dir", str(d), "-n", "10",
+                          "--site", "osg"]) == 0
+        assert main_run(["--submit-dir", str(d), "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "succeeded" in out
+
+
+@pytest.fixture(scope="module")
+def real_inputs(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("inputs")
+    wl = generate_blast2cap3_workload(
+        n_proteins=6,
+        spec=TranscriptomeSpec(mean_fragments_per_gene=2.5,
+                               noise_transcripts=2, error_rate=0.002),
+        seed=88,
+    )
+    transcripts = tmp / "transcripts.fasta"
+    alignments = tmp / "alignments.out"
+    write_fasta(transcripts, wl.transcripts)
+    write_tabular(alignments, wl.hits)
+    return transcripts, alignments
+
+
+class TestBlast2Cap3Cli:
+    def test_serial_mode(self, real_inputs, tmp_path, capsys):
+        transcripts, alignments = real_inputs
+        out = tmp_path / "merged.fasta"
+        rc = blast2cap3_main([
+            "--transcripts", str(transcripts),
+            "--alignments", str(alignments),
+            "--output", str(out),
+            "--serial",
+        ])
+        assert rc == 0
+        assert out.exists()
+        assert "reduction" in capsys.readouterr().out
+
+    def test_workflow_mode_matches_serial(self, real_inputs, tmp_path):
+        transcripts, alignments = real_inputs
+        serial_out = tmp_path / "serial.fasta"
+        wf_out = tmp_path / "workflow.fasta"
+        blast2cap3_main([
+            "--transcripts", str(transcripts),
+            "--alignments", str(alignments),
+            "--output", str(serial_out), "--serial",
+        ])
+        rc = blast2cap3_main([
+            "--transcripts", str(transcripts),
+            "--alignments", str(alignments),
+            "--output", str(wf_out),
+            "-n", "3", "--workers", "2",
+            "--workdir", str(tmp_path / "scratch"),
+        ])
+        assert rc == 0
+        serial_records = {(r.id, r.seq) for r in read_fasta(serial_out)}
+        wf_records = {(r.id, r.seq) for r in read_fasta(wf_out)}
+        assert serial_records == wf_records

@@ -1,0 +1,143 @@
+"""Tests for protein-hit clustering and cluster partitioning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.blast.tabular import TabularHit
+from repro.core.clusters import ProteinCluster, best_hits, cluster_transcripts
+from repro.core.partition import cluster_cost, partition_clusters
+
+
+def hit(q, s, evalue=1e-20, bitscore=100.0):
+    return TabularHit(
+        qseqid=q, sseqid=s, pident=95.0, length=100, mismatch=5, gapopen=0,
+        qstart=1, qend=300, sstart=1, send=100, evalue=evalue,
+        bitscore=bitscore,
+    )
+
+
+class TestBestHits:
+    def test_lowest_evalue_wins(self):
+        hits = [hit("t1", "pA", evalue=1e-10), hit("t1", "pB", evalue=1e-30)]
+        assert best_hits(hits)["t1"].sseqid == "pB"
+
+    def test_bitscore_breaks_ties(self):
+        hits = [
+            hit("t1", "pA", evalue=1e-10, bitscore=90),
+            hit("t1", "pB", evalue=1e-10, bitscore=110),
+        ]
+        assert best_hits(hits)["t1"].sseqid == "pB"
+
+    def test_cutoff_filters(self):
+        hits = [hit("t1", "pA", evalue=1e-3)]
+        assert best_hits(hits, evalue_cutoff=1e-5) == {}
+
+    def test_first_best_kept_on_exact_tie(self):
+        hits = [hit("t1", "pA"), hit("t1", "pB")]
+        assert best_hits(hits)["t1"].sseqid == "pA"
+
+
+class TestClusterTranscripts:
+    def test_transcripts_sharing_protein_grouped(self):
+        hits = [hit("t1", "pA"), hit("t2", "pA"), hit("t3", "pB")]
+        clusters, _ = cluster_transcripts(hits)
+        by_protein = {c.protein_id: c for c in clusters}
+        assert by_protein["pA"].transcript_ids == ("t1", "t2")
+        assert by_protein["pB"].transcript_ids == ("t3",)
+
+    def test_transcript_joins_only_best_cluster(self):
+        hits = [
+            hit("t1", "pA", evalue=1e-40),
+            hit("t1", "pB", evalue=1e-10),
+            hit("t2", "pB", evalue=1e-20),
+        ]
+        clusters, _ = cluster_transcripts(hits)
+        by_protein = {c.protein_id: set(c.transcript_ids) for c in clusters}
+        assert by_protein == {"pA": {"t1"}, "pB": {"t2"}}
+
+    def test_unaligned_reported(self):
+        hits = [hit("t1", "pA")]
+        _, unaligned = cluster_transcripts(
+            hits, known_transcripts=["t1", "t2", "t3"]
+        )
+        assert unaligned == ["t2", "t3"]
+
+    def test_cluster_order_deterministic(self):
+        hits = [hit("t1", "pB"), hit("t2", "pA"), hit("t3", "pB")]
+        clusters, _ = cluster_transcripts(hits)
+        assert [c.protein_id for c in clusters] == ["pB", "pA"]
+
+    def test_mergeable_property(self):
+        assert ProteinCluster("p", ("a", "b")).is_mergeable
+        assert not ProteinCluster("p", ("a",)).is_mergeable
+
+    def test_cluster_validation(self):
+        with pytest.raises(ValueError):
+            ProteinCluster("", ("a",))
+        with pytest.raises(ValueError):
+            ProteinCluster("p", ("a", "a"))
+
+
+def mk_clusters(sizes):
+    return [
+        ProteinCluster(f"p{i}", tuple(f"t{i}_{j}" for j in range(s)))
+        for i, s in enumerate(sizes)
+    ]
+
+
+class TestPartition:
+    def test_round_robin_deals_in_order(self):
+        clusters = mk_clusters([2, 2, 2, 2])
+        groups = partition_clusters(clusters, 2, strategy="round_robin")
+        assert [c.protein_id for c in groups[0]] == ["p0", "p2"]
+        assert [c.protein_id for c in groups[1]] == ["p1", "p3"]
+
+    def test_every_cluster_in_exactly_one_group(self):
+        clusters = mk_clusters([3, 1, 4, 1, 5])
+        groups = partition_clusters(clusters, 3)
+        flat = [c.protein_id for g in groups for c in g]
+        assert sorted(flat) == sorted(c.protein_id for c in clusters)
+
+    def test_n_larger_than_clusters_gives_empty_groups(self):
+        groups = partition_clusters(mk_clusters([2]), 5)
+        assert len(groups) == 5
+        assert sum(len(g) for g in groups) == 1
+
+    def test_balanced_beats_round_robin_on_skew(self):
+        # One giant cluster plus many small ones: LPT must isolate the
+        # giant while round-robin stacks extra weight on its group.
+        sizes = [40] + [2] * 30
+        clusters = mk_clusters(sizes)
+
+        def max_load(groups):
+            return max(sum(cluster_cost(c) for c in g) for g in groups)
+
+        rr = partition_clusters(clusters, 4, strategy="round_robin")
+        bal = partition_clusters(clusters, 4, strategy="balanced")
+        assert max_load(bal) <= max_load(rr)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            partition_clusters([], 0)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            partition_clusters([], 1, strategy="random")  # type: ignore[arg-type]
+
+    def test_cost_quadratic_shape(self):
+        assert cluster_cost(10) > 10 * cluster_cost(1)
+        with pytest.raises(ValueError):
+            cluster_cost(-1)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=20), max_size=40),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=50)
+    def test_partition_is_exact_cover(self, sizes, n):
+        clusters = mk_clusters(sizes)
+        for strategy in ("round_robin", "balanced"):
+            groups = partition_clusters(clusters, n, strategy=strategy)
+            assert len(groups) == n
+            flat = sorted(c.protein_id for g in groups for c in g)
+            assert flat == sorted(c.protein_id for c in clusters)

@@ -1,0 +1,136 @@
+"""Tests for the DAG model and .dag file round-trip."""
+
+import pytest
+
+from repro.dagman.dag import Dag, DagJob
+
+
+def diamond() -> Dag:
+    dag = Dag(name="diamond")
+    for name in ("a", "b", "c", "d"):
+        dag.add_job(DagJob(name=name, transformation=f"t_{name}", runtime=10))
+    dag.add_edge("a", "b")
+    dag.add_edge("a", "c")
+    dag.add_edge("b", "d")
+    dag.add_edge("c", "d")
+    return dag
+
+
+class TestDagJob:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DagJob(name="", transformation="t")
+        with pytest.raises(ValueError):
+            DagJob(name="a b", transformation="t")
+        with pytest.raises(ValueError):
+            DagJob(name="a", transformation="t", runtime=-1)
+        with pytest.raises(ValueError):
+            DagJob(name="a", transformation="t", retries=-1)
+
+
+class TestDag:
+    def test_duplicate_job_rejected(self):
+        dag = Dag()
+        dag.add_job(DagJob(name="a", transformation="t"))
+        with pytest.raises(ValueError, match="duplicate"):
+            dag.add_job(DagJob(name="a", transformation="t"))
+
+    def test_edge_unknown_job(self):
+        dag = Dag()
+        dag.add_job(DagJob(name="a", transformation="t"))
+        with pytest.raises(KeyError):
+            dag.add_edge("a", "zz")
+
+    def test_self_edge_rejected(self):
+        dag = Dag()
+        dag.add_job(DagJob(name="a", transformation="t"))
+        with pytest.raises(ValueError, match="self"):
+            dag.add_edge("a", "a")
+
+    def test_cycle_rejected_and_rolled_back(self):
+        dag = Dag()
+        for n in "abc":
+            dag.add_job(DagJob(name=n, transformation="t"))
+        dag.add_edge("a", "b")
+        dag.add_edge("b", "c")
+        with pytest.raises(ValueError, match="cycle"):
+            dag.add_edge("c", "a")
+        # rollback: the bad edge must not remain
+        assert "a" not in dag.children("c")
+        assert dag.topological_order() == ["a", "b", "c"]
+
+    def test_roots_and_leaves(self):
+        dag = diamond()
+        assert dag.roots() == ["a"]
+        assert dag.leaves() == ["d"]
+
+    def test_parents_children(self):
+        dag = diamond()
+        assert dag.parents("d") == {"b", "c"}
+        assert dag.children("a") == {"b", "c"}
+
+    def test_topological_order(self):
+        order = diamond().topological_order()
+        assert order.index("a") < order.index("b") < order.index("d")
+        assert order.index("a") < order.index("c") < order.index("d")
+
+    def test_critical_path(self):
+        dag = diamond()  # all runtimes 10 -> path a-b-d = 30
+        assert dag.critical_path_length() == 30.0
+
+    def test_critical_path_empty(self):
+        assert Dag().critical_path_length() == 0.0
+
+    def test_len_and_edges(self):
+        dag = diamond()
+        assert len(dag) == 4
+        assert set(dag.edges()) == {
+            ("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"),
+        }
+
+
+class TestDagFile:
+    def test_roundtrip(self, tmp_path):
+        dag = diamond()
+        dag.jobs["b"] = DagJob(
+            name="b", transformation="t_b", retries=3, priority=5
+        )
+        dag.done.add("a")
+        path = tmp_path / "wf.dag"
+        dag.write_dagfile(path)
+        back = Dag.parse_dagfile(path, name="diamond")
+        assert set(back.jobs) == set(dag.jobs)
+        assert set(back.edges()) == set(dag.edges())
+        assert back.jobs["b"].retries == 3
+        assert back.jobs["b"].priority == 5
+        assert back.done == {"a"}
+        assert back.jobs["c"].transformation == "t_c"
+
+    def test_file_syntax(self, tmp_path):
+        path = tmp_path / "wf.dag"
+        diamond().write_dagfile(path)
+        text = path.read_text()
+        assert "JOB a t_a.sub" in text
+        assert "PARENT a CHILD b" in text
+
+    def test_unknown_keyword_rejected(self, tmp_path):
+        path = tmp_path / "bad.dag"
+        path.write_text("FROBNICATE a\n")
+        with pytest.raises(ValueError, match="unknown DAG file keyword"):
+            Dag.parse_dagfile(path)
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "wf.dag"
+        path.write_text("# comment\nJOB a t.sub\n\n")
+        dag = Dag.parse_dagfile(path)
+        assert list(dag.jobs) == ["a"]
+
+    def test_multi_parent_child_line(self, tmp_path):
+        path = tmp_path / "wf.dag"
+        path.write_text(
+            "JOB a t.sub\nJOB b t.sub\nJOB c t.sub\nJOB d t.sub\n"
+            "PARENT a b CHILD c d\n"
+        )
+        dag = Dag.parse_dagfile(path)
+        assert dag.parents("c") == {"a", "b"}
+        assert dag.parents("d") == {"a", "b"}

@@ -1,0 +1,74 @@
+"""Tests for the multi-seed sweep runner."""
+
+import pytest
+
+from repro.experiments.sweep import (
+    RunStats,
+    run_config,
+    run_sweep,
+    sweep_table,
+)
+from repro.perfmodel.task_models import PaperTaskModel
+
+
+class TestRunStats:
+    def test_statistics(self):
+        s = RunStats(
+            platform="p", n=10,
+            walltimes=(100.0, 200.0, 300.0), retries=(0, 1, 2),
+        )
+        assert s.mean == 200.0
+        assert s.median == 200.0
+        assert s.minimum == 100.0
+        assert s.maximum == 300.0
+        assert s.stdev == pytest.approx(100.0)
+        assert s.cv == pytest.approx(0.5)
+        assert s.total_retries == 3
+
+    def test_single_run_has_zero_stdev(self):
+        s = RunStats(platform="p", n=1, walltimes=(42.0,), retries=(0,))
+        assert s.stdev == 0.0
+        assert s.cv == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunStats(platform="p", n=1, walltimes=(), retries=())
+        with pytest.raises(ValueError):
+            RunStats(platform="p", n=1, walltimes=(1.0,), retries=(0, 1))
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_sweep(
+        ["sandhills", "cloud"], [10, 50], seeds=range(2),
+        model=PaperTaskModel(),
+    )
+
+
+class TestSweep:
+    def test_all_configs_present(self, small_sweep):
+        assert set(small_sweep.configs) == {
+            ("sandhills", 10), ("sandhills", 50),
+            ("cloud", 10), ("cloud", 50),
+        }
+        assert small_sweep.platforms() == ["cloud", "sandhills"]
+        assert small_sweep.ns() == [10, 50]
+
+    def test_each_config_has_all_seeds(self, small_sweep):
+        for stats in small_sweep.configs.values():
+            assert len(stats.walltimes) == 2
+
+    def test_best_n(self, small_sweep):
+        # More partitions -> shorter wall time in this range.
+        assert small_sweep.best_n("sandhills") == 50
+
+    def test_run_config_deterministic(self):
+        model = PaperTaskModel()
+        a = run_config("sandhills", 10, seeds=[1], model=model)
+        b = run_config("sandhills", 10, seeds=[1], model=model)
+        assert a.walltimes == b.walltimes
+
+    def test_table_renders(self, small_sweep):
+        text = sweep_table(small_sweep, title="t").render()
+        assert "sandhills" in text
+        assert "cv" in text

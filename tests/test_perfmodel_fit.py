@@ -1,0 +1,54 @@
+"""Tests for the in-code calibration fitter."""
+
+import pytest
+
+from repro.perfmodel.calibration import anchors
+from repro.perfmodel.fit import calibration_loss, fit_model
+from repro.perfmodel.task_models import PaperTaskModel
+
+
+class TestLoss:
+    def test_default_model_has_low_loss(self):
+        assert calibration_loss(PaperTaskModel()) < 0.1
+
+    def test_bad_shape_has_high_loss(self):
+        # A near-uniform cluster distribution misses the plateau anchor
+        # badly (partitions shrink linearly with n).
+        bad = PaperTaskModel(size_sigma=0.2, seed=0)
+        assert calibration_loss(bad) > 5 * calibration_loss(PaperTaskModel())
+
+    def test_loss_components_relative(self):
+        # Loss is scale-free: doubling the anchors with a doubled model
+        # is as good as the original fit.
+        model = PaperTaskModel()
+        base = calibration_loss(model)
+        assert base == pytest.approx(calibration_loss(model, anchors()))
+
+
+class TestFit:
+    @pytest.fixture(scope="class")
+    def fit(self):
+        return fit_model()
+
+    def test_search_covers_grid(self, fit):
+        assert fit.evaluated == 50
+        assert len(fit.trail) == 50
+
+    def test_best_is_sorted_first(self, fit):
+        assert fit.trail[0][0] == pytest.approx(fit.loss)
+
+    def test_shipped_defaults_in_top_two(self, fit):
+        default = PaperTaskModel()
+        top2 = {(sigma, seed) for _, sigma, seed in fit.trail[:2]}
+        assert (default.size_sigma, default.seed) in top2
+
+    def test_best_sigma_matches_default_shape(self, fit):
+        assert fit.sigma == PaperTaskModel().size_sigma
+
+    def test_best_model_satisfies_anchor_bands(self, fit):
+        a = anchors()
+        n10 = max(fit.model.partition_runtimes(10))
+        assert abs(n10 - a.sandhills_n10_s) / a.sandhills_n10_s < 0.20
+        for n in (100, 300, 500):
+            m = max(fit.model.partition_runtimes(n))
+            assert 0.6 * a.sandhills_plateau_s < m < 1.4 * a.sandhills_plateau_s

@@ -1,0 +1,139 @@
+"""Tests for the plots (gantt/utilization) and provenance modules."""
+
+import pytest
+
+from repro.core.workflow_factory import (
+    build_blast2cap3_adag,
+    simulate_paper_run,
+)
+from repro.dagman.events import JobAttempt, JobStatus, WorkflowTrace
+from repro.wms.plots import gantt, utilization
+from repro.wms.provenance import ProvenanceDB
+
+
+def attempt(name, submit, setup, start, end, status=JobStatus.SUCCEEDED,
+            attempt_no=1):
+    return JobAttempt(
+        job_name=name, transformation="t", site="s", machine="m",
+        attempt=attempt_no, submit_time=submit, setup_start=setup,
+        exec_start=start, exec_end=end, status=status,
+    )
+
+
+@pytest.fixture()
+def small_trace():
+    trace = WorkflowTrace()
+    trace.add(attempt("a", 0, 200, 400, 900))
+    trace.add(attempt("b", 0, 10, 10, 600))
+    trace.add(attempt("c", 300, 320, 380, 900,
+                      status=JobStatus.EVICTED))
+    trace.add(attempt("c", 900, 905, 950, 1000, attempt_no=2))
+    return trace
+
+
+class TestGantt:
+    def test_contains_all_rows_and_legend(self, small_trace):
+        out = gantt(small_trace)
+        assert "a[1]" in out
+        assert "c[2]" in out
+        assert "legend:" in out
+
+    def test_phases_rendered(self, small_trace):
+        out = gantt(small_trace)
+        a_row = next(l for l in out.splitlines() if l.startswith("a[1]"))
+        assert "." in a_row  # waiting
+        assert "i" in a_row  # download/install
+        assert "#" in a_row  # running
+
+    def test_failure_marked(self, small_trace):
+        out = gantt(small_trace)
+        c1_row = next(l for l in out.splitlines() if l.startswith("c[1]"))
+        assert "x" in c1_row
+
+    def test_row_cap_with_omission_note(self):
+        trace = WorkflowTrace()
+        for i in range(60):
+            trace.add(attempt(f"j{i}", 0, 0, 0, 10 + i))
+        out = gantt(trace, max_rows=10)
+        assert "omitted" in out
+        # The longest attempt always survives the cut.
+        assert "j59[1]" in out
+
+    def test_empty(self):
+        assert gantt(WorkflowTrace()) == "(empty trace)"
+
+    def test_simulated_run_renders(self):
+        result, _ = simulate_paper_run(10, "sandhills", seed=1)
+        out = gantt(result.trace)
+        assert "run_cap3_1[1]" in out
+
+
+class TestUtilization:
+    def test_peak_reported(self, small_trace):
+        # a (400-900), b (10-600) and c's first attempt (380-900) all
+        # overlap in the 400-600 window.
+        out = utilization(small_trace, bins=20)
+        assert "peak 3" in out
+
+    def test_strip_length(self, small_trace):
+        out = utilization(small_trace, bins=30)
+        strip = out.splitlines()[1]
+        assert len(strip) == 32  # 30 bins + 2 pipes
+
+    def test_empty(self):
+        assert utilization(WorkflowTrace()) == "(empty trace)"
+
+
+@pytest.fixture()
+def prov():
+    adag = build_blast2cap3_adag(3)
+    return adag, ProvenanceDB(adag)
+
+
+class TestProvenance:
+    def test_external_inputs_have_no_producer(self, prov):
+        _, db = prov
+        assert db.producer("transcripts.fasta") is None
+        step = db.derivation("transcripts.fasta")
+        assert step.transformation == "(external)"
+
+    def test_immediate_derivation(self, prov):
+        _, db = prov
+        step = db.derivation("joined_2.fasta")
+        assert step.producer == "run_cap3_2"
+        assert "transcripts_dict.txt" in step.inputs
+        assert "protein_2.txt" in step.inputs
+
+    def test_full_lineage_reaches_externals(self, prov):
+        _, db = prov
+        sources = db.external_sources("merged_transcriptome.fasta")
+        assert set(sources) == {"transcripts.fasta", "alignments.out"}
+
+    def test_contributing_jobs_complete(self, prov):
+        adag, db = prov
+        jobs = set(db.contributing_jobs("merged_transcriptome.fasta"))
+        assert jobs == set(adag.jobs)  # every job feeds the final output
+
+    def test_lineage_leaf_first_order(self, prov):
+        _, db = prov
+        lineage = db.lineage("joined.fasta")
+        names = [d.file for d in lineage]
+        assert names.index("alignments.out") < names.index("protein_1.txt")
+        assert names.index("protein_1.txt") < names.index("joined_1.fasta")
+        assert names[-1] == "joined.fasta"
+
+    def test_retrospective_provenance_after_run(self):
+        result, planned = simulate_paper_run(3, "sandhills", seed=1)
+        adag = build_blast2cap3_adag(3)
+        db = ProvenanceDB(adag)
+        recorded = db.record_run(result.trace)
+        assert recorded >= len(adag.jobs)  # compute + auxiliary jobs
+        step = db.derivation("joined_1.fasta")
+        assert step.attempt is not None
+        assert step.attempt.machine.startswith("sandhills")
+
+    def test_report_renders(self, prov):
+        _, db = prov
+        text = db.report("merged_transcriptome.fasta")
+        assert "concat_final" in text
+        assert "external input" in text

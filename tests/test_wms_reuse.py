@@ -1,0 +1,130 @@
+"""Tests for the planner's data-reuse pruning."""
+
+import pytest
+
+from repro.core.workflow_factory import (
+    ALIGNMENTS_LFN,
+    TRANSCRIPTS_LFN,
+    build_blast2cap3_adag,
+    default_catalogs,
+)
+from repro.wms.catalogs import ReplicaCatalog
+from repro.wms.planner import PlannerOptions, plan
+
+
+def planned_with(replicas_extra, n=4, enable_reuse=True):
+    adag = build_blast2cap3_adag(n)
+    sites, tc, rc = default_catalogs()
+    for lfn in replicas_extra:
+        rc.add(lfn, f"file:///cache/{lfn}")
+    return plan(
+        adag,
+        site_name="sandhills",
+        sites=sites,
+        transformations=tc,
+        replicas=rc,
+        options=PlannerOptions(enable_reuse=enable_reuse),
+    )
+
+
+class TestDataReuse:
+    def test_no_registered_outputs_changes_nothing(self):
+        fresh = planned_with([])
+        baseline = planned_with([], enable_reuse=False)
+        assert set(fresh.dag.jobs) == set(baseline.dag.jobs)
+
+    def test_existing_partition_outputs_prune_their_jobs(self):
+        # run_cap3_1's outputs exist from a previous run.
+        planned = planned_with(["joined_1.fasta", "merged_1.txt"])
+        assert "run_cap3_1" not in planned.dag.jobs
+        assert "run_cap3_2" in planned.dag.jobs
+        # The reused files are staged in for the merge jobs.
+        assert "stage_in_joined_1_fasta" in planned.dag.jobs
+        assert "merge_joined" in planned.dag.children("stage_in_joined_1_fasta")
+
+    def test_cascade_prunes_feeder_jobs(self):
+        # Every run_cap3 output plus the list files exist: split() and
+        # the list-creation jobs feed nobody... except merge_unjoined
+        # still needs transcripts_dict.txt, which keeps its producer.
+        outputs = ["alignments.list"]
+        for i in range(1, 5):
+            outputs += [f"joined_{i}.fasta", f"merged_{i}.txt"]
+        planned = planned_with(outputs)
+        assert all(
+            f"run_cap3_{i}" not in planned.dag.jobs for i in range(1, 5)
+        )
+        assert "split" not in planned.dag.jobs  # cascade: fed only cap3
+        assert "create_alignment_list" not in planned.dag.jobs
+        # transcripts_dict.txt is still consumed by merge_unjoined.
+        assert "create_transcript_list" in planned.dag.jobs
+        assert "merge_joined" in planned.dag.jobs
+
+    def test_full_downstream_reuse(self):
+        planned = planned_with(["joined.fasta", "unjoined.fasta"])
+        assert "merge_joined" not in planned.dag.jobs
+        assert "merge_unjoined" not in planned.dag.jobs
+        assert "concat_final" in planned.dag.jobs
+        # Everything upstream was only feeding the pruned merges...
+        # except nothing: run_cap3 outputs merged_i.txt consumed only by
+        # merge_unjoined (pruned) and joined_i consumed by merge_joined
+        # (pruned) -> the whole upstream cascade goes.
+        assert all(
+            not name.startswith("run_cap3") for name in planned.dag.jobs
+        )
+        assert "split" not in planned.dag.jobs
+
+    def test_reused_final_output_empties_compute_plan(self):
+        planned = planned_with(["merged_transcriptome.fasta"])
+        # concat_final pruned; cascade removes everything upstream.
+        compute = [
+            n for n in planned.dag.jobs
+            if not n.startswith(("stage_in", "stage_out", "cleanup"))
+        ]
+        assert compute == []
+
+    def test_external_inputs_still_required(self):
+        # Reuse never waives the original input replicas (they're in
+        # default_catalogs already — removing them must still fail).
+        adag = build_blast2cap3_adag(3)
+        sites, tc, _ = default_catalogs()
+        empty_rc = ReplicaCatalog()
+        empty_rc.add("joined_1.fasta", "file:///cache/joined_1.fasta")
+        from repro.wms.planner import PlanningError
+
+        with pytest.raises(PlanningError, match="without replicas"):
+            plan(adag, site_name="sandhills", sites=sites,
+                 transformations=tc, replicas=empty_rc,
+                 options=PlannerOptions(enable_reuse=True))
+
+    def test_reuse_plan_still_executes(self):
+        from repro.dagman.scheduler import DagmanScheduler
+        from repro.sim.cluster import CampusCluster
+        from repro.sim.engine import Simulator
+        from repro.sim.rng import RngStreams
+
+        planned = planned_with(["joined_1.fasta", "merged_1.txt"])
+        env = CampusCluster(Simulator(), streams=RngStreams(seed=0))
+        result = DagmanScheduler(planned.dag, env).run()
+        assert result.success
+
+    def test_reuse_reduces_modelled_walltime(self):
+        from repro.perfmodel.task_models import PaperTaskModel
+
+        model = PaperTaskModel()
+        adag = build_blast2cap3_adag(10, model=model)
+        sites, tc, rc = default_catalogs()
+        # Cache the heaviest partition's outputs.
+        runtimes = model.partition_runtimes(10)
+        heavy = runtimes.index(max(runtimes)) + 1
+        rc.add(f"joined_{heavy}.fasta", "file:///cache/x")
+        rc.add(f"merged_{heavy}.txt", "file:///cache/y")
+        reuse = plan(adag, site_name="sandhills", sites=sites,
+                     transformations=tc, replicas=rc,
+                     options=PlannerOptions(enable_reuse=True))
+        fresh = plan(adag, site_name="sandhills", sites=sites,
+                     transformations=tc, replicas=rc,
+                     options=PlannerOptions(enable_reuse=False))
+        assert (
+            reuse.dag.critical_path_length()
+            < fresh.dag.critical_path_length()
+        )
