@@ -17,7 +17,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.core.workflow_factory import simulate_paper_run
+from repro.core.workflow_factory import (
+    build_blast2cap3_adag,
+    default_catalogs,
+    simulate_paper_run,
+)
+from repro.lint import lint, render_report
 from repro.perfmodel.task_models import PaperTaskModel
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -51,6 +56,24 @@ def median_walltime(n: int, platform: str, *, model: PaperTaskModel,
 @pytest.fixture(scope="session")
 def paper_model() -> PaperTaskModel:
     return PaperTaskModel()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def certified_workflows(paper_model):
+    """Pre-flight lint: every benchmark workflow must be statically
+    clean before any simulated cycle is spent on it."""
+    sites, transformations, replicas = default_catalogs()
+    for n in (min(NS), max(NS)):
+        adag = build_blast2cap3_adag(n, model=paper_model)
+        for platform in ("sandhills", "osg"):
+            report = lint(
+                adag,
+                sites=sites,
+                transformations=transformations,
+                replicas=replicas,
+                site=platform,
+            )
+            assert report.ok, render_report(report)
 
 
 @pytest.fixture(scope="session")

@@ -9,12 +9,32 @@ Run:  python examples/quickstart.py
 """
 
 from repro.core.blast2cap3 import blast2cap3_serial
+from repro.core.workflow_factory import build_blast2cap3_adag, default_catalogs
 from repro.datagen.transcripts import TranscriptomeSpec
 from repro.datagen.workload import generate_blast2cap3_workload
+from repro.lint import lint
 from repro.util.tables import Table
 
 
 def main() -> None:
+    # 0. Pre-flight: the same computation, phrased as a Pegasus-style
+    #    workflow, passes the static linter before anything runs (the
+    #    `repro-lint` CLI does this for any DAX; planning does it
+    #    automatically).
+    sites, transformations, replicas = default_catalogs()
+    report = lint(
+        build_blast2cap3_adag(4),
+        sites=sites,
+        transformations=transformations,
+        replicas=replicas,
+        site="sandhills",
+    )
+    print(
+        f"pre-flight lint: {report.verdict} — "
+        f"{len(report.errors())} error(s), "
+        f"{len(report.warnings())} warning(s)"
+    )
+    print()
     # 1. A synthetic workload: 15 reference proteins, ~3 transcript
     #    fragments per gene, a few unrelated "noise" transcripts, and
     #    oracle BLASTX alignments (swap alignments="blastx" to run the

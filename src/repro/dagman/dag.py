@@ -14,9 +14,63 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Iterable
 
+from typing import Iterable as _Iterable
+from typing import Mapping
+
 from repro.util.iolib import atomic_write
 
-__all__ = ["DagJob", "Dag"]
+__all__ = ["CycleError", "topological_sort", "DagJob", "Dag"]
+
+
+class CycleError(ValueError):
+    """The dependency graph contains a cycle.
+
+    Raised both at edge-insertion time (:meth:`Dag.add_edge`) and when
+    ordering an already-built graph (:func:`topological_sort`); the
+    ``members`` attribute names the nodes that could not be ordered.
+    """
+
+    def __init__(self, message: str, members: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.members = members
+
+
+def topological_sort(
+    nodes: _Iterable[str], children: Mapping[str, _Iterable[str]]
+) -> list[str]:
+    """Kahn's algorithm over an adjacency mapping.
+
+    Stable with respect to the order of ``nodes``; children are visited
+    in sorted order. Edges pointing at nodes absent from ``nodes`` are
+    ignored, so callers can pass partial views. Raises
+    :class:`CycleError` naming the unorderable nodes when the graph is
+    cyclic. This is the single cycle detector shared by :class:`Dag`
+    and the ``repro.lint`` DAX pass.
+    """
+    indegree: dict[str, int] = {n: 0 for n in nodes}
+    for parent, kids in children.items():
+        if parent not in indegree:
+            continue
+        for child in kids:
+            if child in indegree and child != parent:
+                indegree[child] += 1
+    ready = [n for n in indegree if indegree[n] == 0]
+    order: list[str] = []
+    while ready:
+        node = ready.pop(0)
+        order.append(node)
+        for child in sorted(children.get(node, ())):
+            if child not in indegree or child == node:
+                continue
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                ready.append(child)
+    if len(order) != len(indegree):
+        members = tuple(sorted(set(indegree) - set(order)))
+        raise CycleError(
+            "cycle detected among: " + ", ".join(members), members
+        )
+    return order
 
 
 @dataclass(frozen=True)
@@ -81,24 +135,15 @@ class Dag:
             raise ValueError("self-dependency")
         self._children[parent].add(child)
         self._parents[child].add(parent)
-        if self._reaches(child, parent):
+        try:
+            topological_sort(self.jobs, self._children)
+        except CycleError as exc:
             self._children[parent].discard(child)
             self._parents[child].discard(parent)
-            raise ValueError(
-                f"edge {parent!r} -> {child!r} would create a cycle"
-            )
-
-    def _reaches(self, start: str, target: str) -> bool:
-        stack, seen = [start], set()
-        while stack:
-            node = stack.pop()
-            if node == target:
-                return True
-            if node in seen:
-                continue
-            seen.add(node)
-            stack.extend(self._children[node])
-        return False
+            raise CycleError(
+                f"edge {parent!r} -> {child!r} would create a cycle",
+                exc.members,
+            ) from None
 
     # -- queries ------------------------------------------------------
 
@@ -123,20 +168,10 @@ class Dag:
         return len(self.jobs)
 
     def topological_order(self) -> list[str]:
-        """Kahn's algorithm; stable w.r.t. insertion order."""
-        indegree = {n: len(self._parents[n]) for n in self.jobs}
-        ready = [n for n in self.jobs if indegree[n] == 0]
-        order: list[str] = []
-        while ready:
-            node = ready.pop(0)
-            order.append(node)
-            for child in sorted(self._children[node]):
-                indegree[child] -= 1
-                if indegree[child] == 0:
-                    ready.append(child)
-        if len(order) != len(self.jobs):  # pragma: no cover - guarded by add_edge
-            raise RuntimeError("cycle detected")
-        return order
+        """Kahn's algorithm; stable w.r.t. insertion order. Raises
+        :class:`CycleError` (unreachable when built via :meth:`add_edge`,
+        which rejects cycle-closing edges eagerly)."""
+        return topological_sort(self.jobs, self._children)
 
     def critical_path_length(self) -> float:
         """Longest runtime-weighted path (a lower bound on makespan)."""

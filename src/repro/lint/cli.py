@@ -1,0 +1,121 @@
+"""``repro-lint``: the pre-flight workflow linter on the command line.
+
+Lints either a DAX file (``--dax workflow.dax``) or the bundled
+blast2cap3 workflow at a given scale (``-n``), against the default
+catalogs and a target site. Exit status 0 means no ERROR findings;
+1 means at least one; 2 means the input could not be read.
+
+Examples::
+
+    repro-lint -n 300 --site osg --setup-mode never   # the paper's trap
+    repro-lint --dax run1/workflow.dax --site sandhills --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.lint import lint, render_report
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static pre-flight analysis of a workflow: DAX, "
+        "catalog, and planned-DAG rules.",
+    )
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--dax", help="path to a DAX XML file to lint")
+    source.add_argument(
+        "-n", "--clusters", type=int, default=100,
+        help="lint the bundled blast2cap3 workflow at this scale",
+    )
+    parser.add_argument(
+        "--site", choices=("sandhills", "osg", "cloud", "local"),
+        default="sandhills", help="target site for the catalog/plan passes",
+    )
+    parser.add_argument(
+        "--setup-mode", choices=("auto", "never"), default="auto",
+        help="planner setup mode to lint against (the paper's "
+        "failure-prone configuration is --setup-mode never on osg)",
+    )
+    parser.add_argument("--retries", type=int, default=3)
+    parser.add_argument(
+        "--cluster-size", type=int, default=1,
+        help="horizontal clustering factor to lint against",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.core.workflow_factory import (
+        build_blast2cap3_adag,
+        default_catalogs,
+    )
+    from repro.perfmodel.task_models import PaperTaskModel
+    from repro.wms.dax import ADag
+    from repro.wms.planner import PlannerOptions, PlanningError, plan
+
+    if args.dax:
+        path = Path(args.dax)
+        if not path.exists():
+            print(f"no such DAX file: {path}", file=sys.stderr)
+            return 2
+        try:
+            adag = ADag.read(path)
+        except (ValueError, OSError) as exc:
+            print(f"cannot parse {path}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            adag = build_blast2cap3_adag(args.clusters, model=PaperTaskModel())
+        except ValueError as exc:
+            parser.error(str(exc))
+
+    sites, transformations, replicas = default_catalogs()
+    try:
+        options = PlannerOptions(
+            retries=args.retries,
+            cluster_size=args.cluster_size,
+            setup_mode=args.setup_mode,
+            lint="off",  # we run the linter ourselves, with the planned DAG
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    # Best effort: include the planned-DAG pass when the workflow plans
+    # at all; when planning itself fails the static passes still run
+    # and explain why.
+    planned = None
+    try:
+        planned = plan(
+            adag,
+            site_name=args.site,
+            sites=sites,
+            transformations=transformations,
+            replicas=replicas,
+            options=options,
+        )
+    except (PlanningError, ValueError):
+        pass
+
+    report = lint(
+        adag,
+        sites=sites,
+        transformations=transformations,
+        replicas=replicas,
+        site=args.site,
+        options=options,
+        planned=planned,
+    )
+    print(report.to_json() if args.json else render_report(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterator, Mapping
 
 from repro.sim.network import CAMPUS_SHARED_FS, WAN, NetworkModel
 
@@ -53,6 +53,12 @@ class ReplicaCatalog:
 
     def has(self, lfn: str) -> bool:
         return lfn in self._entries
+
+    def entries(self) -> Iterator[tuple[str, str, str]]:
+        """Every (lfn, pfn, site) mapping, in insertion order."""
+        for lfn, pfns in self._entries.items():
+            for pfn, site in pfns:
+                yield lfn, pfn, site
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -62,7 +62,7 @@ def main_plan(argv: list[str] | None = None) -> int:
 
     from repro.core.workflow_factory import build_blast2cap3_adag, default_catalogs
     from repro.perfmodel.task_models import PaperTaskModel
-    from repro.wms.planner import PlannerOptions, plan
+    from repro.wms.planner import PlannerOptions, PlanningError, plan
 
     submit = _submit_dir(args.submit_dir)
     model = PaperTaskModel()
@@ -70,18 +70,23 @@ def main_plan(argv: list[str] | None = None) -> int:
     adag.write(submit / "workflow.dax")
 
     sites, transformations, replicas = default_catalogs()
-    planned = plan(
-        adag,
-        site_name=args.site,
-        sites=sites,
-        transformations=transformations,
-        replicas=replicas,
-        options=PlannerOptions(
-            retries=args.retries,
-            cluster_size=args.cluster_size,
-            add_cleanup=args.cleanup,
-        ),
-    )
+    try:
+        planned = plan(
+            adag,
+            site_name=args.site,
+            sites=sites,
+            transformations=transformations,
+            replicas=replicas,
+            options=PlannerOptions(
+                retries=args.retries,
+                cluster_size=args.cluster_size,
+                add_cleanup=args.cleanup,
+            ),
+        )
+    except PlanningError as exc:
+        # Includes the pre-flight linter's fail-fast (LintFailure).
+        print(str(exc), file=sys.stderr)
+        return 1
     planned.dag.write_dagfile(submit / "workflow.dag")
     # Runtimes and decorations do not live in the .dag file; persist
     # them the way Pegasus persists per-job submit files.

@@ -157,44 +157,23 @@ class ADag:
         return len(self.jobs)
 
     def validate(self) -> list[str]:
-        """Structural lint: returns a list of problems (empty = clean).
+        """Deprecated: use :func:`repro.lint.lint` instead.
 
-        Checks: duplicate producers (raised eagerly elsewhere but
-        reported here too), size disagreements between uses of the same
-        logical file, jobs with no inputs and no outputs, and explicit
-        edges that merely duplicate data dependencies.
+        Thin shim over the DAX pass of the rule-based linter; returns
+        the finding messages (empty = clean) so existing callers keep
+        working. New code should call ``lint(adag)`` and inspect the
+        structured :class:`~repro.lint.Report`.
         """
-        problems: list[str] = []
-        try:
-            producers = self.producers()
-        except ValueError as exc:
-            problems.append(str(exc))
-            producers = {}
+        import warnings
 
-        sizes: dict[str, int] = {}
-        for job in self.jobs.values():
-            if not job.uses:
-                problems.append(f"job {job.id!r} uses no files")
-            for f, _link in job.uses:
-                if f.name in sizes and sizes[f.name] != f.size:
-                    problems.append(
-                        f"file {f.name!r} declared with sizes "
-                        f"{sizes[f.name]} and {f.size}"
-                    )
-                sizes.setdefault(f.name, f.size)
+        warnings.warn(
+            "ADag.validate() is deprecated; use repro.lint.lint(adag)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.lint import lint
 
-        data_edges = set()
-        for job in self.jobs.values():
-            for f in job.inputs():
-                producer = producers.get(f.name)
-                if producer is not None and producer != job.id:
-                    data_edges.add((producer, job.id))
-        for edge in self._explicit_edges & data_edges:
-            problems.append(
-                f"explicit edge {edge[0]!r} -> {edge[1]!r} duplicates a "
-                "data dependency"
-            )
-        return problems
+        return [f.message for f in lint(self).findings]
 
     # -- DAX XML ----------------------------------------------------------
 

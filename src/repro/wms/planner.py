@@ -26,7 +26,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Literal
+from typing import TYPE_CHECKING, Any, Callable, Literal
 
 from repro.dagman.dag import Dag, DagJob
 from repro.wms.catalogs import (
@@ -37,7 +37,16 @@ from repro.wms.catalogs import (
 )
 from repro.wms.dax import ADag
 
-__all__ = ["PlanningError", "PlannerOptions", "PlannedWorkflow", "plan"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint import Report
+
+__all__ = [
+    "PlanningError",
+    "LintFailure",
+    "PlannerOptions",
+    "PlannedWorkflow",
+    "plan",
+]
 
 #: ClassAd requirement for jobs that rely on pre-installed software.
 SOFTWARE_REQUIREMENTS = "has_python and has_biopython and has_cap3"
@@ -50,6 +59,23 @@ class PlanningError(Exception):
     """The abstract workflow cannot be mapped onto the requested site."""
 
 
+class LintFailure(PlanningError):
+    """The pre-flight linter found ERROR findings (``lint="error"``).
+
+    Carries the full :class:`repro.lint.Report` so callers can render
+    or inspect the findings.
+    """
+
+    def __init__(self, report: "Report") -> None:
+        from repro.lint import render_report
+
+        super().__init__(
+            f"pre-flight lint failed: {report.verdict}\n"
+            + render_report(report)
+        )
+        self.report = report
+
+
 @dataclass(frozen=True)
 class PlannerOptions:
     """Planner behaviour switches.
@@ -58,6 +84,12 @@ class PlannerOptions:
     outputs *all* already have replicas is cut from the plan, and its
     outputs are staged in instead of recomputed. Pruning cascades —
     a job whose only purpose was feeding pruned jobs goes too.
+
+    ``lint`` controls the pre-flight static analysis
+    (:mod:`repro.lint`) that runs on every plan: ``"error"`` (the
+    default) raises :class:`LintFailure` on ERROR findings before any
+    execution, ``"warn"`` only attaches the report to the returned
+    :class:`PlannedWorkflow`, ``"off"`` skips the preflight entirely.
     """
 
     retries: int = 3
@@ -65,12 +97,15 @@ class PlannerOptions:
     add_cleanup: bool = False
     setup_mode: Literal["auto", "never"] = "auto"
     enable_reuse: bool = False
+    lint: Literal["error", "warn", "off"] = "error"
 
     def __post_init__(self) -> None:
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
         if self.cluster_size < 1:
             raise ValueError("cluster_size must be >= 1")
+        if self.lint not in ("error", "warn", "off"):
+            raise ValueError(f"unknown lint mode: {self.lint!r}")
 
 
 @dataclass
@@ -81,6 +116,8 @@ class PlannedWorkflow:
     site: SiteEntry
     #: abstract job id -> executable job name (changes under clustering)
     job_map: dict[str, str] = field(default_factory=dict)
+    #: pre-flight lint report (None when planned with lint="off")
+    lint_report: "Report | None" = None
 
     @property
     def compute_jobs(self) -> list[str]:
@@ -227,6 +264,23 @@ def plan(
     planned = PlannedWorkflow(dag=dag, site=site, job_map=job_map)
     if options.cluster_size > 1:
         planned = _horizontal_clustering(planned, adag, options.cluster_size)
+
+    # -- pre-flight static analysis ---------------------------------------
+    if options.lint != "off":
+        from repro.lint import lint as run_lint
+
+        report = run_lint(
+            adag,
+            sites=sites,
+            transformations=transformations,
+            replicas=replicas,
+            site=site,
+            options=options,
+            planned=planned,
+        )
+        planned.lint_report = report
+        if options.lint == "error" and not report.ok:
+            raise LintFailure(report)
     return planned
 
 

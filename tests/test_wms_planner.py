@@ -169,12 +169,30 @@ class TestSetupDecoration:
         adag = fan_out_adag()
         sites, tc, rc = catalogs(("split", "work", "merge"))
         rc.add("raw.txt", "file:///raw.txt")
+        # lint="warn": the preflight flags this configuration as
+        # unsatisfiable on osg (CAT002) but must not block the plan.
         planned = plan(adag, site_name="osg", sites=sites,
                        transformations=tc, replicas=rc,
-                       options=PlannerOptions(setup_mode="never"))
+                       options=PlannerOptions(setup_mode="never",
+                                              lint="warn"))
         compute = [planned.dag.jobs[n] for n in planned.job_map.values()]
         assert all(not j.needs_setup for j in compute)
         assert all(j.requirements == SOFTWARE_REQUIREMENTS for j in compute)
+        assert planned.lint_report is not None
+        assert [f.rule for f in planned.lint_report.errors()] == ["CAT002"]
+
+    def test_setup_mode_never_fails_preflight_by_default(self):
+        from repro.wms.planner import LintFailure
+
+        adag = fan_out_adag()
+        sites, tc, rc = catalogs(("split", "work", "merge"))
+        rc.add("raw.txt", "file:///raw.txt")
+        with pytest.raises(LintFailure) as excinfo:
+            plan(adag, site_name="osg", sites=sites,
+                 transformations=tc, replicas=rc,
+                 options=PlannerOptions(setup_mode="never"))
+        assert excinfo.value.report.by_rule("CAT002")
+        assert "unsatisfiable" in str(excinfo.value)
 
     def test_transformation_installed_on_osg_skips_setup(self):
         adag = fan_out_adag()
