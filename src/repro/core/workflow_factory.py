@@ -21,7 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Literal, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Literal, Mapping
+
+if TYPE_CHECKING:  # annotation-only; the bus is an optional wire-in
+    from repro.observe.bus import EventBus
 
 from repro.cap3.assembler import Cap3Params
 from repro.dagman.scheduler import DagmanResult, DagmanScheduler
@@ -307,6 +310,7 @@ def run_local(
     cap3_params: Cap3Params = Cap3Params(),
     retries: int = 0,
     executor: str = "process",
+    bus: "EventBus | None" = None,
 ) -> LocalRunResult:
     """Plan and actually execute blast2cap3 as a workflow, locally.
 
@@ -346,8 +350,10 @@ def run_local(
         if job.payload is None:
             planned.dag.jobs[name] = dc_replace(job, payload=noop)
 
-    with LocalEnvironment(max_workers=max_workers, executor=executor) as env:
-        result = DagmanScheduler(planned.dag, env).run()
+    with LocalEnvironment(
+        max_workers=max_workers, executor=executor, bus=bus
+    ) as env:
+        result = DagmanScheduler(planned.dag, env, bus=bus).run()
     return LocalRunResult(
         dagman=result,
         planned=planned,
@@ -369,11 +375,18 @@ def simulate_paper_run(
     cloud_config: CloudConfig | None = None,
     planner_options: PlannerOptions | None = None,
     partition_strategy: str = "round_robin",
+    bus: "EventBus | None" = None,
+    sample_interval_s: float | None = None,
 ) -> tuple[DagmanResult, PlannedWorkflow]:
     """Simulate one paper-scale workflow run on one platform.
 
     ``"cloud"`` is the paper's future-work platform: track cost via the
     returned environment inside :func:`simulate_paper_run_with_env`.
+
+    ``bus`` receives the full live event stream (scheduler and platform
+    events interleaved on the virtual timeline); with
+    ``sample_interval_s`` set, ``platform.sample`` utilization events
+    are emitted on the same bus at that virtual-clock cadence.
     """
     if platform not in ("sandhills", "osg", "cloud"):
         raise ValueError(f"unknown platform: {platform!r}")
@@ -396,19 +409,32 @@ def simulate_paper_run(
     )
     simulator = Simulator()
     streams = RngStreams(seed=seed)
+    env: CampusCluster | OpportunisticGrid | CloudPlatform
     if platform == "sandhills":
         env = CampusCluster(
-            simulator, cluster_config or CampusClusterConfig(), streams=streams
+            simulator, cluster_config or CampusClusterConfig(),
+            streams=streams, bus=bus,
         )
     elif platform == "osg":
         env = OpportunisticGrid(
-            simulator, grid_config or GridConfig(), streams=streams
+            simulator, grid_config or GridConfig(), streams=streams, bus=bus
         )
     else:
         env = CloudPlatform(
-            simulator, cloud_config or CloudConfig(), streams=streams
+            simulator, cloud_config or CloudConfig(), streams=streams, bus=bus
         )
-    result = DagmanScheduler(planned.dag, env).run()
+    scheduler = DagmanScheduler(planned.dag, env, bus=bus)
+    scheduler.start()
+    if sample_interval_s is not None:
+        # Started after the initial ready set is queued, so the sampler
+        # sees pending work and keeps itself alive until the run drains.
+        from repro.observe.sampler import UtilizationSampler
+
+        UtilizationSampler(
+            simulator, env, interval_s=sample_interval_s, bus=bus
+        ).start()
+    env.run_until_complete()
+    result = scheduler.finish()
     _LAST_ENVIRONMENTS[id(result)] = env
     return result, planned
 

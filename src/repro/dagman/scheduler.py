@@ -27,6 +27,8 @@ from typing import Callable, Protocol
 
 from repro.dagman.dag import Dag, DagJob
 from repro.dagman.events import JobAttempt, WorkflowTrace
+from repro.observe.bus import EventBus
+from repro.observe.events import EventKind, RunEvent
 
 __all__ = ["ExecutionEnvironment", "DagmanScheduler", "DagmanResult", "NodeState"]
 
@@ -100,11 +102,19 @@ class DagmanScheduler:
         max_jobs: int | None = None,
         default_retries: int | None = None,
         on_attempt: Callable[[JobAttempt], None] | None = None,
+        bus: EventBus | None = None,
     ) -> None:
-        """``on_attempt`` is invoked for every finished attempt as it
-        lands — the monitord hook (stream attempts to a JSONL log with
-        :func:`repro.wms.monitor.append_attempt` for live
-        ``pegasus-status`` style observation)."""
+        """``bus`` receives the full lifecycle event stream (submits,
+        retries, node state changes, workflow start/end — see
+        :mod:`repro.observe.events`); pass the same bus to the execution
+        environment so platform-side events (match, setup, exec, finish)
+        interleave on one timeline.
+
+        ``on_attempt`` is the legacy monitord hook, invoked for every
+        finished attempt as it lands (stream attempts to a JSONL log
+        with :func:`repro.wms.monitor.append_attempt`). It predates the
+        bus and is kept for backward compatibility; new code should
+        subscribe to the bus's terminal events instead."""
         if max_jobs is not None and max_jobs < 1:
             raise ValueError("max_jobs must be >= 1")
         self.dag = dag
@@ -112,6 +122,7 @@ class DagmanScheduler:
         self.max_jobs = max_jobs
         self.default_retries = default_retries
         self.on_attempt = on_attempt
+        self.bus = bus
         self.trace = WorkflowTrace()
         self.states: dict[str, NodeState] = {}
         self._retries_left: dict[str, int] = {}
@@ -126,7 +137,25 @@ class DagmanScheduler:
         """Start the DAG and drive the environment to completion."""
         self.start()
         self.environment.run_until_complete()
-        return self.result()
+        return self.finish()
+
+    def finish(self) -> DagmanResult:
+        """Snapshot the outcome and emit ``workflow.end``.
+
+        :meth:`run` calls this; drive it yourself only when you split
+        ``start()`` / ``run_until_complete()`` manually (e.g. to start
+        samplers in between).
+        """
+        result = self.result()
+        self._emit(
+            EventKind.WORKFLOW_END,
+            detail={
+                "success": result.success,
+                "wall_time": result.wall_time,
+                "jobs": len(self.dag.jobs),
+            },
+        )
+        return result
 
     def start(self) -> None:
         """Initialise node states and submit the initial ready set."""
@@ -146,9 +175,13 @@ class DagmanScheduler:
                 self.states[name] = NodeState.DONE
             else:
                 self.states[name] = NodeState.UNREADY
+        self._emit(
+            EventKind.WORKFLOW_START,
+            detail={"jobs": len(self.dag.jobs), "name": self.dag.name},
+        )
         for name in self.dag.jobs:
             if self.states[name] is NodeState.UNREADY and self._parents_done(name):
-                self.states[name] = NodeState.READY
+                self._set_state(name, NodeState.READY)
         self._submit_ready()
 
     def result(self) -> DagmanResult:
@@ -184,6 +217,33 @@ class DagmanScheduler:
 
     # -- internals ------------------------------------------------------
 
+    def _emit(self, kind: EventKind, *, job: DagJob | None = None,
+              attempt: int | None = None,
+              detail: dict | None = None) -> None:
+        if self.bus is None:
+            return
+        self.bus.emit(
+            RunEvent(
+                kind,
+                self.environment.now,
+                job_name=job.name if job is not None else None,
+                transformation=job.transformation if job is not None else None,
+                attempt=attempt,
+                detail=detail or {},
+            )
+        )
+
+    def _set_state(self, name: str, state: NodeState) -> None:
+        previous = self.states[name]
+        self.states[name] = state
+        if state is not previous:
+            self._emit(
+                EventKind.STATE_CHANGE,
+                job=self.dag.jobs[name],
+                attempt=self._attempt[name] or None,
+                detail={"from": previous.value, "to": state.value},
+            )
+
     def _parents_done(self, name: str) -> bool:
         return all(
             self.states[p] is NodeState.DONE for p in self.dag.parents(name)
@@ -201,10 +261,11 @@ class DagmanScheduler:
             self._submit(name)
 
     def _submit(self, name: str) -> None:
-        self.states[name] = NodeState.SUBMITTED
+        self._set_state(name, NodeState.SUBMITTED)
         self._attempt[name] += 1
         self._in_flight += 1
         job = self.dag.jobs[name]
+        self._emit(EventKind.SUBMIT, job=job, attempt=self._attempt[name])
         self.environment.submit(
             job, self._make_listener(name), attempt=self._attempt[name]
         )
@@ -221,18 +282,27 @@ class DagmanScheduler:
             self.on_attempt(attempt)
         self._in_flight -= 1
         if attempt.status.is_success:
-            self.states[name] = NodeState.DONE
+            self._set_state(name, NodeState.DONE)
             for child in self.dag.children(name):
                 if (
                     self.states[child] is NodeState.UNREADY
                     and self._parents_done(child)
                 ):
-                    self.states[child] = NodeState.READY
+                    self._set_state(child, NodeState.READY)
         elif self._retries_left[name] > 0:
             self._retries_left[name] -= 1
-            self.states[name] = NodeState.READY
+            self._emit(
+                EventKind.RETRY,
+                job=self.dag.jobs[name],
+                attempt=self._attempt[name],
+                detail={
+                    "retries_left": self._retries_left[name],
+                    "status": attempt.status.value,
+                },
+            )
+            self._set_state(name, NodeState.READY)
         else:
-            self.states[name] = NodeState.FAILED
+            self._set_state(name, NodeState.FAILED)
             self._mark_descendants_unrunnable(name)
         self._submit_ready()
 
@@ -241,7 +311,7 @@ class DagmanScheduler:
         while stack:
             node = stack.pop()
             if self.states[node] in (NodeState.UNREADY, NodeState.READY):
-                self.states[node] = NodeState.UNRUNNABLE
+                self._set_state(node, NodeState.UNRUNNABLE)
                 stack.extend(self.dag.children(node))
 
     @property

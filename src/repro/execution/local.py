@@ -26,6 +26,8 @@ from typing import Any, Callable, Literal
 from repro.dagman.dag import DagJob
 from repro.dagman.events import JobAttempt, JobStatus
 from repro.execution.kickstart import KickstartRecord, kickstart
+from repro.observe.bus import EventBus
+from repro.observe.events import attempt_events
 
 __all__ = ["LocalEnvironment"]
 
@@ -50,12 +52,14 @@ class LocalEnvironment:
         max_workers: int = 4,
         site: str = "local",
         executor: Literal["thread", "process"] = "thread",
+        bus: EventBus | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor kind: {executor!r}")
         self.site = site
+        self.bus = bus
         self.max_workers = max_workers
         self.executor_kind = executor
         self._pool: Executor
@@ -125,10 +129,19 @@ class LocalEnvironment:
         future.add_done_callback(on_done)
 
     def run_until_complete(self) -> None:
-        """Process completions (on this thread) until nothing is running."""
+        """Process completions (on this thread) until nothing is running.
+
+        Lifecycle events are emitted here — on the driver thread, never
+        from pool callbacks — so bus subscribers need no locks. The
+        timings come from the attempt record, so the emitted sequence
+        matches what the simulators emit live.
+        """
         while self._in_flight > 0:
             on_complete, record = self._completions.get()
             self._in_flight -= 1
+            if self.bus is not None:
+                for event in attempt_events(record):
+                    self.bus.emit(event)
             on_complete(record)
 
     def shutdown(self) -> None:

@@ -1,0 +1,79 @@
+"""``repro.observe`` — the live observability layer.
+
+The paper's evaluation speaks pegasus-monitord's language (wall time,
+kickstart, waiting, download/install); this package is the substrate
+those numbers and the live view both come from:
+
+* :mod:`repro.observe.events` — the typed lifecycle event taxonomy;
+* :mod:`repro.observe.bus` — the subscriber API every backend emits to;
+* :mod:`repro.observe.metrics` — counters / gauges / histograms;
+* :mod:`repro.observe.sampler` — periodic utilization time series;
+* :mod:`repro.observe.log` — JSONL event log (monitord's jobstate.log);
+* :mod:`repro.observe.chrome_trace` — Perfetto-loadable trace export;
+* :mod:`repro.observe.status` — ``pegasus-status`` style live render.
+
+One run, fully observed::
+
+    bus = EventBus()
+    recorder = EventRecorder(bus)
+    metrics = instrument(bus)
+    result, planned = simulate_paper_run(300, "osg", bus=bus,
+                                         sample_interval_s=120.0)
+    write_events("events.jsonl", recorder.events)
+    write_chrome_trace("trace.json", result.trace)
+"""
+
+from repro.observe.bus import (
+    EventBus,
+    EventRecorder,
+    TraceCollector,
+    events_to_trace,
+)
+from repro.observe.chrome_trace import chrome_trace, write_chrome_trace
+from repro.observe.events import (
+    TERMINAL_KINDS,
+    EventKind,
+    RunEvent,
+    attempt_events,
+)
+from repro.observe.log import (
+    EventLogWriter,
+    iter_events,
+    read_events,
+    write_events,
+)
+from repro.observe.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    instrument,
+)
+from repro.observe.sampler import UtilizationSample, UtilizationSampler
+from repro.observe.status import StatusView, render_status
+
+__all__ = [
+    "EventBus",
+    "EventRecorder",
+    "TraceCollector",
+    "events_to_trace",
+    "chrome_trace",
+    "write_chrome_trace",
+    "TERMINAL_KINDS",
+    "EventKind",
+    "RunEvent",
+    "attempt_events",
+    "EventLogWriter",
+    "iter_events",
+    "read_events",
+    "write_events",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "instrument",
+    "UtilizationSample",
+    "UtilizationSampler",
+    "StatusView",
+    "render_status",
+]

@@ -1,0 +1,135 @@
+"""The event bus: one subscriber API over every execution path.
+
+The bus is deliberately synchronous and unbuffered — ``emit`` calls each
+subscriber inline, in subscription order, on the emitting thread. Under
+the simulators that thread is the single driver thread (virtual-time
+determinism is preserved); the local backend emits from its driver
+thread too (completions are marshalled there before any callback runs),
+so subscribers never need locks.
+
+Two stock subscribers cover the common cases:
+
+* :class:`EventRecorder` — keep every event in memory (tests, ad-hoc
+  analysis);
+* :class:`TraceCollector` — fold terminal events back into a
+  :class:`~repro.dagman.events.WorkflowTrace`, making the bus a strict
+  superset of the old ``on_attempt`` hook and the single source of
+  truth for ``pegasus-statistics`` style reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.dagman.events import WorkflowTrace
+from repro.observe.events import EventKind, RunEvent
+
+__all__ = ["EventBus", "EventRecorder", "TraceCollector", "events_to_trace"]
+
+Subscriber = Callable[[RunEvent], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for :class:`RunEvent`.
+
+    >>> bus = EventBus()
+    >>> seen = []
+    >>> unsubscribe = bus.subscribe(seen.append, kinds=(EventKind.SUBMIT,))
+    >>> bus.emit(RunEvent(EventKind.SUBMIT, 0.0, job_name="j1"))
+    >>> bus.emit(RunEvent(EventKind.WORKFLOW_END, 1.0))
+    >>> [e.job_name for e in seen]
+    ['j1']
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: list[tuple[Subscriber, frozenset[EventKind] | None]] = []
+        self._emitted = 0
+
+    @property
+    def emitted(self) -> int:
+        """Total events published so far."""
+        return self._emitted
+
+    def subscribe(
+        self,
+        subscriber: Subscriber,
+        *,
+        kinds: Iterable[EventKind] | None = None,
+    ) -> Callable[[], None]:
+        """Register ``subscriber``; returns an unsubscribe callable.
+
+        ``kinds`` filters delivery to the given event kinds (all kinds
+        when omitted).
+        """
+        entry = (
+            subscriber,
+            frozenset(kinds) if kinds is not None else None,
+        )
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subscribers.remove(entry)
+            except ValueError:
+                pass  # already unsubscribed
+
+        return unsubscribe
+
+    def emit(self, event: RunEvent) -> None:
+        """Deliver ``event`` to every matching subscriber, in order."""
+        self._emitted += 1
+        for subscriber, kinds in list(self._subscribers):
+            if kinds is None or event.kind in kinds:
+                subscriber(event)
+
+
+class EventRecorder:
+    """Subscriber that keeps every delivered event in memory."""
+
+    def __init__(self, bus: EventBus | None = None, **subscribe_kwargs) -> None:
+        self.events: list[RunEvent] = []
+        if bus is not None:
+            bus.subscribe(self, **subscribe_kwargs)
+
+    def __call__(self, event: RunEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, *kinds: EventKind) -> list[RunEvent]:
+        """The recorded events of the given kinds, in arrival order."""
+        wanted = frozenset(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def sequence(
+        self, *, kinds: Iterable[EventKind] | None = None
+    ) -> list[tuple[str, str | None]]:
+        """The run as ``(kind.value, job_name)`` pairs — the
+        timestamp-free shape used to compare runs across backends."""
+        wanted = frozenset(kinds) if kinds is not None else None
+        return [
+            (e.kind.value, e.job_name)
+            for e in self.events
+            if wanted is None or e.kind in wanted
+        ]
+
+
+class TraceCollector:
+    """Fold terminal events into a :class:`WorkflowTrace` as they land."""
+
+    def __init__(self, bus: EventBus | None = None) -> None:
+        self.trace = WorkflowTrace()
+        if bus is not None:
+            bus.subscribe(self, kinds=(EventKind.FINISH, EventKind.EVICT))
+
+    def __call__(self, event: RunEvent) -> None:
+        if event.is_terminal and event.record is not None:
+            self.trace.add(event.record)
+
+
+def events_to_trace(events: Iterable[RunEvent]) -> WorkflowTrace:
+    """Rebuild the attempt trace from an event stream (terminal events
+    carry the full records, so this is lossless)."""
+    trace = WorkflowTrace()
+    for event in events:
+        if event.is_terminal and event.record is not None:
+            trace.add(event.record)
+    return trace

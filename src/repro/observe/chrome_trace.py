@@ -1,0 +1,124 @@
+"""Chrome trace-event export: open any run in Perfetto / about://tracing.
+
+Emits the `Trace Event Format`_ JSON object form. Mapping:
+
+* **process** (pid) = execution site — Sandhills is one process, an OSG
+  run fans out into one per contributing site;
+* **thread** (tid) = machine/slot within the site;
+* complete (``"ph": "X"``) events per attempt phase — ``waiting``,
+  ``setup`` (OSG's download/install), and ``exec`` — so the paper's
+  three per-job time components are literally the coloured bars;
+* counter (``"ph": "C"``) events from utilization samples — busy/idle
+  over time as a stacked area track.
+
+Timestamps are microseconds as the format requires; the source clock is
+the backend's (virtual seconds × 1e6 for simulated runs).
+
+.. _Trace Event Format: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.dagman.events import WorkflowTrace
+from repro.observe.sampler import UtilizationSample
+
+__all__ = ["chrome_trace", "write_chrome_trace"]
+
+_US = 1e6  # seconds -> microseconds
+
+
+def chrome_trace(
+    trace: WorkflowTrace,
+    *,
+    samples: Iterable[UtilizationSample] | None = None,
+    workflow: str = "workflow",
+) -> dict:
+    """Render a trace (plus optional utilization samples) to the
+    trace-event JSON object. ``json.dump`` the result, or use
+    :func:`write_chrome_trace`."""
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+
+    def pid(site: str) -> int:
+        if site not in pids:
+            pids[site] = len(pids) + 1
+            events.append({
+                "ph": "M", "name": "process_name", "pid": pids[site], "tid": 0,
+                "args": {"name": f"site:{site}"},
+            })
+        return pids[site]
+
+    def tid(site: str, machine: str) -> int:
+        key = (site, machine)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid(site),
+                "tid": tids[key], "args": {"name": machine},
+            })
+        return tids[key]
+
+    for a in sorted(trace, key=lambda a: (a.submit_time, a.job_name, a.attempt)):
+        p, t = pid(a.site), tid(a.site, a.machine)
+        label = f"{a.job_name}#{a.attempt}"
+        args = {
+            "job": a.job_name,
+            "transformation": a.transformation,
+            "attempt": a.attempt,
+            "status": a.status.value,
+        }
+        if a.error:
+            args["error"] = a.error
+        phases = (
+            ("waiting", a.submit_time, a.waiting_time),
+            ("setup", a.setup_start, a.download_install_time),
+            ("exec", a.exec_start, a.kickstart_time),
+        )
+        for cat, start, dur in phases:
+            if dur <= 0 and cat != "exec":
+                continue  # no distinct phase; keep exec even if instant
+            events.append({
+                "ph": "X",
+                "name": f"{label} {cat}" if cat != "exec" else label,
+                "cat": cat,
+                "pid": p,
+                "tid": t,
+                "ts": start * _US,
+                "dur": dur * _US,
+                "args": args,
+            })
+
+    for s in samples or ():
+        events.append({
+            "ph": "C", "name": "utilization", "pid": 0, "tid": 0,
+            "ts": s.time * _US, "args": {"busy": s.busy, "idle": s.idle},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"workflow": workflow, "attempts": len(trace)},
+    }
+
+
+def write_chrome_trace(
+    path: str | Path,
+    trace: WorkflowTrace,
+    *,
+    samples: Iterable[UtilizationSample] | None = None,
+    workflow: str = "workflow",
+) -> Path:
+    """Write the trace-event JSON next to the run's other artifacts."""
+    from repro.util.iolib import atomic_write
+
+    path = Path(path)
+    payload = json.dumps(
+        chrome_trace(trace, samples=samples, workflow=workflow)
+    )
+    atomic_write(path, payload)
+    return path

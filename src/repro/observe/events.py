@@ -1,0 +1,134 @@
+"""The lifecycle event taxonomy — one vocabulary for every backend.
+
+Where :class:`repro.dagman.events.JobAttempt` is the *post-hoc* record
+of one try, a :class:`RunEvent` is the *live* unit of observability: a
+timestamped point in a run's life, emitted the moment it happens (in
+virtual time on the simulators, in wall time on the local backend).
+
+The taxonomy mirrors pegasus-monitord's netlogger events:
+
+========================  ==============================================
+kind                      meaning
+========================  ==============================================
+``workflow.start``        DAGMan released the initial ready set
+``workflow.end``          nothing more can run (success or not)
+``job.submit``            DAGMan handed one attempt to the platform
+``job.match``             a slot/instance was chosen for the attempt
+``job.setup_start``       slot acquired; staging / download-install began
+``job.exec_start``        the payload started
+``job.finish``            terminal: payload succeeded or failed
+``job.evict``             terminal: preempted by the resource owner
+``job.retry``             DAGMan re-queued a failed/evicted job
+``job.state_change``      a DAGMan node changed state (ready, done, …)
+``platform.sample``       periodic utilization sample (busy/idle counts)
+========================  ==============================================
+
+Terminal events (``job.finish`` / ``job.evict``) carry the full
+:class:`JobAttempt` in :attr:`RunEvent.record`, so a stream of events is
+a strict superset of a :class:`~repro.dagman.events.WorkflowTrace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Mapping
+
+from repro.dagman.events import JobAttempt, JobStatus
+
+__all__ = ["EventKind", "RunEvent", "TERMINAL_KINDS", "attempt_events"]
+
+
+class EventKind(Enum):
+    """What happened (see the module docstring for the taxonomy)."""
+
+    WORKFLOW_START = "workflow.start"
+    WORKFLOW_END = "workflow.end"
+    SUBMIT = "job.submit"
+    MATCH = "job.match"
+    SETUP_START = "job.setup_start"
+    EXEC_START = "job.exec_start"
+    FINISH = "job.finish"
+    EVICT = "job.evict"
+    RETRY = "job.retry"
+    STATE_CHANGE = "job.state_change"
+    SAMPLE = "platform.sample"
+
+
+#: Kinds that end one attempt and carry its full :class:`JobAttempt`.
+TERMINAL_KINDS = frozenset({EventKind.FINISH, EventKind.EVICT})
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One timestamped point in a run's life.
+
+    ``time`` is on the emitting backend's clock (virtual seconds for the
+    simulators, seconds since environment creation for the local
+    backend). Job-scoped kinds fill ``job_name``/``attempt``; terminal
+    kinds additionally carry the finished :class:`JobAttempt` in
+    ``record``. ``detail`` holds kind-specific extras (state-change
+    from/to, sample busy/idle counts, …).
+    """
+
+    kind: EventKind
+    time: float
+    job_name: str | None = None
+    transformation: str | None = None
+    site: str | None = None
+    machine: str | None = None
+    attempt: int | None = None
+    record: JobAttempt | None = field(default=None, compare=False)
+    detail: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind in TERMINAL_KINDS and self.record is None:
+            raise ValueError(f"{self.kind.value} events must carry a record")
+
+    @property
+    def is_terminal(self) -> bool:
+        """True for events that end one attempt (finish/evict)."""
+        return self.kind in TERMINAL_KINDS
+
+
+def attempt_events(record: JobAttempt) -> list[RunEvent]:
+    """Reconstruct the lifecycle events of one finished attempt.
+
+    Backends that only learn an attempt's timings at completion (the
+    local process/thread pools report through a completion queue) use
+    this to emit the same event sequence the simulators emit live —
+    each event stamped with the attempt's own timestamps, so exporters
+    and metrics see one consistent stream regardless of backend.
+
+    ``job.setup_start`` is emitted only when a distinct setup phase
+    exists (``setup_start < exec_start``); platforms with pre-installed
+    software go straight from waiting to execution.
+    """
+    common = dict(
+        job_name=record.job_name,
+        transformation=record.transformation,
+        site=record.site,
+        machine=record.machine,
+        attempt=record.attempt,
+    )
+    events = []
+    if record.setup_start < record.exec_start:
+        events.append(
+            RunEvent(EventKind.SETUP_START, record.setup_start, **common)
+        )
+    events.append(RunEvent(EventKind.EXEC_START, record.exec_start, **common))
+    terminal = (
+        EventKind.EVICT
+        if record.status is JobStatus.EVICTED
+        else EventKind.FINISH
+    )
+    events.append(
+        RunEvent(
+            terminal,
+            record.exec_end,
+            record=record,
+            detail={"status": record.status.value},
+            **common,
+        )
+    )
+    return events

@@ -1,0 +1,168 @@
+"""JSONL event-log persistence — monitord's ``*.jobstate.log``, typed.
+
+Each event is one self-contained JSON line, so logs stream, append,
+tail, and survive crashes. The schema is a **superset** of the attempt
+schema in :mod:`repro.wms.monitor`: terminal events (``job.finish`` /
+``job.evict``) carry every field of the old per-attempt lines plus an
+``event`` discriminator and an event timestamp ``t``. Consequently:
+
+* :func:`repro.wms.monitor.read_trace` reads an event log and recovers
+  exactly the attempts (it skips non-terminal lines);
+* :func:`read_events` reads an *old* attempt-only log and synthesises
+  the terminal events, so pre-existing logs keep working.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.dagman.events import JobAttempt, JobStatus
+from repro.observe.bus import EventBus
+from repro.observe.events import EventKind, RunEvent
+
+__all__ = ["EventLogWriter", "write_events", "read_events", "iter_events"]
+
+#: The per-attempt fields shared with :mod:`repro.wms.monitor`.
+ATTEMPT_FIELDS = (
+    "job_name",
+    "transformation",
+    "site",
+    "machine",
+    "attempt",
+    "submit_time",
+    "setup_start",
+    "exec_start",
+    "exec_end",
+)
+
+
+def event_to_json(event: RunEvent) -> dict:
+    """Flatten one event to a JSON-able dict (one log line)."""
+    out: dict[str, object] = {"event": event.kind.value, "t": event.time}
+    for name in ("job_name", "transformation", "site", "machine", "attempt"):
+        value = getattr(event, name)
+        if value is not None:
+            out[name] = value
+    if event.record is not None:
+        for name in ATTEMPT_FIELDS:
+            out[name] = getattr(event.record, name)
+        out["status"] = event.record.status.value
+        if event.record.error:
+            out["error"] = event.record.error
+    if event.detail:
+        for key, value in event.detail.items():
+            out.setdefault(key, value)
+    return out
+
+
+def _record_from(data: dict) -> JobAttempt:
+    return JobAttempt(
+        status=JobStatus(data["status"]),
+        error=data.get("error"),
+        **{name: data[name] for name in ATTEMPT_FIELDS},
+    )
+
+
+def event_from_json(data: dict) -> RunEvent:
+    """Parse one log line back into a :class:`RunEvent`.
+
+    Lines without an ``event`` key are legacy attempt records from
+    :func:`repro.wms.monitor.write_trace`; they become the terminal
+    event of that attempt (``job.finish`` or ``job.evict``).
+    """
+    known = {
+        "event", "t", "job_name", "transformation", "site", "machine",
+        "attempt", "status", "error", *ATTEMPT_FIELDS,
+    }
+    detail = {k: v for k, v in data.items() if k not in known}
+    if "event" not in data:  # legacy monitor.py line
+        record = _record_from(data)
+        kind = (
+            EventKind.EVICT
+            if record.status is JobStatus.EVICTED
+            else EventKind.FINISH
+        )
+        return RunEvent(
+            kind,
+            record.exec_end,
+            job_name=record.job_name,
+            transformation=record.transformation,
+            site=record.site,
+            machine=record.machine,
+            attempt=record.attempt,
+            record=record,
+            detail={"status": record.status.value},
+        )
+    kind = EventKind(data["event"])
+    if "status" in data:
+        detail["status"] = data["status"]
+    return RunEvent(
+        kind,
+        data["t"],
+        job_name=data.get("job_name"),
+        transformation=data.get("transformation"),
+        site=data.get("site"),
+        machine=data.get("machine"),
+        attempt=data.get("attempt"),
+        record=_record_from(data) if kind in (EventKind.FINISH, EventKind.EVICT) else None,
+        detail=detail,
+    )
+
+
+class EventLogWriter:
+    """Bus subscriber that appends one JSON line per event.
+
+    Lines are flushed per event so a concurrent ``repro-status
+    --follow`` (or plain ``tail -f``) sees them as they happen.
+    """
+
+    def __init__(self, path: str | Path, bus: EventBus | None = None) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: IO[str] | None = open(self.path, "a", encoding="utf-8")
+        self._unsubscribe = bus.subscribe(self) if bus is not None else None
+
+    def __call__(self, event: RunEvent) -> None:
+        if self._fh is None:
+            raise ValueError(f"event log {self.path} is closed")
+        self._fh.write(json.dumps(event_to_json(event)) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventLogWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_events(path: str | Path, events: Iterable[RunEvent]) -> int:
+    """Write a whole event stream as JSONL; returns the event count."""
+    events = list(events)
+    payload = "".join(json.dumps(event_to_json(e)) + "\n" for e in events)
+    from repro.util.iolib import atomic_write
+
+    atomic_write(path, payload)
+    return len(events)
+
+
+def iter_events(path: str | Path) -> Iterator[RunEvent]:
+    """Stream events from a JSONL log (legacy attempt logs included)."""
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            if line.strip():
+                yield event_from_json(json.loads(line))
+
+
+def read_events(path: str | Path) -> list[RunEvent]:
+    """Load a JSONL event log (or legacy attempt log) into memory."""
+    return list(iter_events(path))

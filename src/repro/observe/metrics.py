@@ -1,0 +1,199 @@
+"""Counters, gauges, and histograms over the event bus.
+
+A tiny Prometheus-shaped registry: metrics are named, optionally
+labelled, and cheap enough to update on every event. The registry is a
+plain in-process object — ``snapshot()`` renders everything to JSON-able
+primitives for export next to the event log.
+
+:func:`instrument` wires the standard workflow metrics onto a bus:
+per-kind event counters, retry/eviction counters, an in-flight gauge,
+queue-depth/busy-slot gauges fed by utilization samples, and per-
+transformation kickstart/waiting histograms.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.observe.bus import EventBus
+from repro.observe.events import EventKind, RunEvent
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "instrument"]
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labels(labels: Mapping[str, str] | None) -> Labels:
+    return tuple(sorted((labels or {}).items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, busy slots)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Streaming distribution summary (kept sorted for percentiles)."""
+
+    __slots__ = ("_sorted", "sum")
+
+    def __init__(self) -> None:
+        self._sorted: list[float] = []
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        insort(self._sorted, value)
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self._sorted) if self._sorted else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, ``p`` in [0, 100]."""
+        if not 0 <= p <= 100:
+            raise ValueError("p must be in [0, 100]")
+        if not self._sorted:
+            return 0.0
+        rank = min(len(self._sorted) - 1, round(p / 100 * (len(self._sorted) - 1)))
+        return self._sorted[rank]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": self.percentile(100),
+        }
+
+
+@dataclass(frozen=True)
+class _Key:
+    name: str
+    labels: Labels
+
+
+class MetricsRegistry:
+    """Named, labelled metrics with lazy creation.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("retries").inc()
+    >>> reg.counter("retries").value
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[_Key, Counter] = {}
+        self._gauges: dict[_Key, Gauge] = {}
+        self._histograms: dict[_Key, Histogram] = {}
+
+    def counter(self, name: str, labels: Mapping[str, str] | None = None) -> Counter:
+        return self._counters.setdefault(_Key(name, _labels(labels)), Counter())
+
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        return self._gauges.setdefault(_Key(name, _labels(labels)), Gauge())
+
+    def histogram(self, name: str, labels: Mapping[str, str] | None = None) -> Histogram:
+        return self._histograms.setdefault(_Key(name, _labels(labels)), Histogram())
+
+    @staticmethod
+    def _render_key(key: _Key) -> str:
+        if not key.labels:
+            return key.name
+        inner = ",".join(f"{k}={v}" for k, v in key.labels)
+        return f"{key.name}{{{inner}}}"
+
+    def snapshot(self) -> dict[str, object]:
+        """Everything, as JSON-able primitives (sorted for determinism)."""
+        return {
+            "counters": {
+                self._render_key(k): c.value
+                for k, c in sorted(self._counters.items(), key=lambda i: self._render_key(i[0]))
+            },
+            "gauges": {
+                self._render_key(k): g.value
+                for k, g in sorted(self._gauges.items(), key=lambda i: self._render_key(i[0]))
+            },
+            "histograms": {
+                self._render_key(k): h.summary()
+                for k, h in sorted(self._histograms.items(), key=lambda i: self._render_key(i[0]))
+            },
+        }
+
+
+def instrument(bus: EventBus, registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Subscribe the standard workflow metrics to ``bus``.
+
+    Maintained live, from events alone:
+
+    * ``events_total{kind=…}`` — counter per event kind;
+    * ``retries_total`` / ``evictions_total`` / ``failures_total``;
+    * ``jobs_in_flight`` — gauge (submits minus terminals);
+    * ``queue_idle`` / ``slots_busy`` — gauges from utilization samples;
+    * ``kickstart_s{transformation=…}``, ``waiting_s``,
+      ``download_install_s`` — histograms from terminal records.
+    """
+    registry = registry or MetricsRegistry()
+
+    def on_event(event: RunEvent) -> None:
+        registry.counter("events_total", {"kind": event.kind.value}).inc()
+        if event.kind is EventKind.SUBMIT:
+            registry.gauge("jobs_in_flight").inc()
+        elif event.kind is EventKind.RETRY:
+            registry.counter("retries_total").inc()
+        elif event.kind is EventKind.EVICT:
+            registry.counter("evictions_total").inc()
+        elif event.kind is EventKind.SAMPLE:
+            registry.gauge("queue_idle").set(float(event.detail.get("idle", 0)))  # type: ignore[arg-type]
+            registry.gauge("slots_busy").set(float(event.detail.get("busy", 0)))  # type: ignore[arg-type]
+        if event.is_terminal and event.record is not None:
+            record = event.record
+            registry.gauge("jobs_in_flight").dec()
+            if not record.status.is_success:
+                registry.counter("failures_total").inc()
+            registry.histogram(
+                "kickstart_s", {"transformation": record.transformation}
+            ).observe(record.kickstart_time)
+            registry.histogram("waiting_s").observe(record.waiting_time)
+            if record.download_install_time > 0:
+                registry.histogram("download_install_s").observe(
+                    record.download_install_time
+                )
+
+    bus.subscribe(on_event)
+    return registry

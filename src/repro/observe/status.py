@@ -1,0 +1,120 @@
+"""``pegasus-status`` style live view over an event stream.
+
+:func:`render_status` is a pure function events → text, so the same
+code serves the one-shot CLI call, the ``--follow`` tail loop, and the
+tests. It reports DAGMan's state histogram, the jobs currently on the
+platform (with how long they have been there), and the run's headline
+counters — everything the paper's user would watch during the 10⁴-second
+OSG runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.observe.events import EventKind, RunEvent
+
+__all__ = ["StatusView", "render_status"]
+
+
+class StatusView:
+    """Incremental digest of an event stream (feed events in order)."""
+
+    def __init__(self, *, total_jobs: int | None = None) -> None:
+        self.total_jobs = total_jobs
+        self.states: dict[str, str] = {}
+        self.in_flight: dict[str, tuple[int, float, str]] = {}  # name -> (attempt, since, phase)
+        self.done: set[str] = set()
+        self.failures = 0
+        self.retries = 0
+        self.evictions = 0
+        self.last_time = 0.0
+        self.workflow_done: bool | None = None  # success flag once ended
+
+    def update(self, event: RunEvent) -> None:
+        self.last_time = max(self.last_time, event.time)
+        kind = event.kind
+        name = event.job_name
+        if kind is EventKind.STATE_CHANGE and name is not None:
+            self.states[name] = str(event.detail.get("to", "?"))
+        elif kind is EventKind.SUBMIT and name is not None:
+            self.in_flight[name] = (event.attempt or 1, event.time, "queued")
+        elif kind in (EventKind.MATCH, EventKind.SETUP_START, EventKind.EXEC_START):
+            if name in self.in_flight:
+                attempt, since, _ = self.in_flight[name]
+                phase = {
+                    EventKind.MATCH: "matched",
+                    EventKind.SETUP_START: "setup",
+                    EventKind.EXEC_START: "running",
+                }[kind]
+                self.in_flight[name] = (attempt, since, phase)
+        elif kind in (EventKind.FINISH, EventKind.EVICT) and name is not None:
+            self.in_flight.pop(name, None)
+            record = event.record
+            if record is not None and record.status.is_success:
+                self.done.add(name)
+            else:
+                self.failures += 1
+            if kind is EventKind.EVICT:
+                self.evictions += 1
+        elif kind is EventKind.RETRY:
+            self.retries += 1
+        elif kind is EventKind.WORKFLOW_END:
+            self.workflow_done = bool(event.detail.get("success", False))
+
+    def feed(self, events: Iterable[RunEvent]) -> "StatusView":
+        for event in events:
+            self.update(event)
+        return self
+
+    # -- rendering ------------------------------------------------------
+
+    def state_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for state in self.states.values():
+            counts[state] = counts.get(state, 0) + 1
+        return counts
+
+    def render(self, *, max_in_flight: int = 10) -> str:
+        total = self.total_jobs if self.total_jobs is not None else len(self.states)
+        done = len(self.done)
+        pct = 100.0 * done / total if total else 0.0
+        if self.workflow_done is None:
+            headline = "RUNNING"
+        else:
+            headline = "SUCCEEDED" if self.workflow_done else "FAILED"
+        lines = [
+            f"[{headline}] t={self.last_time:,.0f}s  "
+            f"{done}/{total} jobs done ({pct:.1f}%)  "
+            f"{self.failures} failed attempts, {self.evictions} evictions, "
+            f"{self.retries} retries",
+        ]
+        counts = self.state_counts()
+        if counts:
+            lines.append(
+                "states: "
+                + "  ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            )
+        if self.in_flight:
+            lines.append(f"in flight ({len(self.in_flight)}):")
+            shown: Sequence[tuple[str, tuple[int, float, str]]] = sorted(
+                self.in_flight.items(), key=lambda i: i[1][1]
+            )[:max_in_flight]
+            for name, (attempt, since, phase) in shown:
+                age = self.last_time - since
+                lines.append(
+                    f"  {name:<28s} #{attempt}  {phase:<8s} "
+                    f"(for {age:,.0f}s)"
+                )
+            if len(self.in_flight) > max_in_flight:
+                lines.append(f"  … {len(self.in_flight) - max_in_flight} more")
+        return "\n".join(lines)
+
+
+def render_status(
+    events: Iterable[RunEvent], *, total_jobs: int | None = None,
+    max_in_flight: int = 10,
+) -> str:
+    """One-shot render of an event stream's current status."""
+    view = StatusView(total_jobs=total_jobs).feed(events)
+    return view.render(max_in_flight=max_in_flight)

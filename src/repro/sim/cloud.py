@@ -31,6 +31,8 @@ from typing import Callable
 
 from repro.dagman.dag import DagJob
 from repro.dagman.events import JobAttempt, JobStatus
+from repro.observe.bus import EventBus
+from repro.observe.events import EventKind, RunEvent
 from repro.sim.engine import Simulator
 from repro.sim.failures import NO_FAILURES, FailureModel
 from repro.sim.rng import RngStreams, bounded_lognormal
@@ -103,9 +105,11 @@ class CloudPlatform:
         config: CloudConfig = CloudConfig(),
         *,
         streams: RngStreams | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self.simulator = simulator
         self.config = config
+        self.bus = bus
         streams = streams or RngStreams(seed=0)
         self._boot_rng = streams.stream(f"{config.name}.boot")
         self._failure_rng = streams.stream(f"{config.name}.failures")
@@ -173,6 +177,22 @@ class CloudPlatform:
 
     # -- internals ------------------------------------------------------
 
+    def _emit(self, kind: EventKind, job: DagJob, attempt: int,
+              instance: _Instance) -> None:
+        if self.bus is None:
+            return
+        self.bus.emit(
+            RunEvent(
+                kind,
+                self.simulator.now,
+                job_name=job.name,
+                transformation=job.transformation,
+                site=self.config.name,
+                machine=instance.name,
+                attempt=attempt,
+            )
+        )
+
     def _dispatch(self) -> None:
         while self._queue:
             job, on_complete, attempt, submit_time = self._queue[0]
@@ -182,6 +202,7 @@ class CloudPlatform:
                     instance.idle_event.cancel()
                     instance.idle_event = None
                 self._queue.pop(0)
+                self._emit(EventKind.MATCH, job, attempt, instance)
                 self._start_on(
                     instance, job, on_complete, attempt, submit_time,
                     booted=True,
@@ -197,6 +218,7 @@ class CloudPlatform:
                 self.peak_instances = max(
                     self.peak_instances, self.running_instances
                 )
+                self._emit(EventKind.MATCH, job, attempt, instance)
                 boot = self.config.dispatch_latency_s + bounded_lognormal(
                     self._boot_rng,
                     self.config.boot_mean_s,
@@ -224,6 +246,7 @@ class CloudPlatform:
     ) -> None:
         instance.busy = True
         start = self.now
+        self._emit(EventKind.EXEC_START, job, attempt, instance)
         duration = job.runtime / self.config.instance_type.speed
         reclaim_in = self.config.failures.sample_eviction_time(
             self._failure_rng
@@ -278,6 +301,25 @@ class CloudPlatform:
             instance.terminated_at = self.now
         else:
             self._park(instance)
+        if self.bus is not None:
+            kind = (
+                EventKind.EVICT
+                if status is JobStatus.EVICTED
+                else EventKind.FINISH
+            )
+            self.bus.emit(
+                RunEvent(
+                    kind,
+                    self.now,
+                    job_name=record.job_name,
+                    transformation=record.transformation,
+                    site=record.site,
+                    machine=record.machine,
+                    attempt=record.attempt,
+                    record=record,
+                    detail={"status": record.status.value},
+                )
+            )
         on_complete(record)
         self._dispatch()
 

@@ -23,6 +23,8 @@ from typing import Callable
 
 from repro.dagman.dag import DagJob
 from repro.dagman.events import JobAttempt, JobStatus
+from repro.observe.bus import EventBus
+from repro.observe.events import EventKind, RunEvent
 from repro.sim.engine import Simulator
 from repro.sim.machine import MachineSpec, make_machines
 from repro.sim.rng import RngStreams, bounded_lognormal
@@ -73,9 +75,11 @@ class CampusCluster:
         config: CampusClusterConfig = CampusClusterConfig(),
         *,
         streams: RngStreams | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self.simulator = simulator
         self.config = config
+        self.bus = bus
         streams = streams or RngStreams(seed=0)
         self._wait_rng = streams.stream(f"{config.name}.wait")
         machine_rng = streams.stream(f"{config.name}.machines")
@@ -125,6 +129,22 @@ class CampusCluster:
         """``condor_q``-style snapshot: idle (queued) vs running."""
         return {"idle": len(self._queue), "running": self._busy}
 
+    def _emit(self, kind: EventKind, job: DagJob, attempt: int,
+              machine: MachineSpec) -> None:
+        if self.bus is None:
+            return
+        self.bus.emit(
+            RunEvent(
+                kind,
+                self.simulator.now,
+                job_name=job.name,
+                transformation=job.transformation,
+                site=self.config.name,
+                machine=machine.name,
+                attempt=attempt,
+            )
+        )
+
     def _dispatch(self) -> None:
         while self._queue and self._busy < self.config.group_slots:
             job, on_complete, attempt, submit_time = self._queue.popleft()
@@ -132,6 +152,7 @@ class CampusCluster:
             self.peak_busy = max(self.peak_busy, self._busy)
             machine = self._machines[self._next_machine % len(self._machines)]
             self._next_machine += 1
+            self._emit(EventKind.MATCH, job, attempt, machine)
             wait = self.config.dispatch_latency_s + bounded_lognormal(
                 self._wait_rng,
                 self.config.queue_wait_mean_s,
@@ -156,6 +177,7 @@ class CampusCluster:
         start = self.now
         duration = job.runtime / machine.speed
         # Software is pre-installed: setup == start, no download/install.
+        self._emit(EventKind.EXEC_START, job, attempt, machine)
         self.simulator.schedule(
             duration,
             lambda: self._finish(
@@ -185,5 +207,19 @@ class CampusCluster:
             status=JobStatus.SUCCEEDED,
         )
         self._busy -= 1
+        if self.bus is not None:
+            self.bus.emit(
+                RunEvent(
+                    EventKind.FINISH,
+                    self.now,
+                    job_name=job.name,
+                    transformation=job.transformation,
+                    site=self.config.name,
+                    machine=machine.name,
+                    attempt=attempt,
+                    record=record,
+                    detail={"status": record.status.value},
+                )
+            )
         on_complete(record)
         self._dispatch()

@@ -26,10 +26,20 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    owner: "Simulator | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
-        """Prevent the callback from firing (the heap entry remains)."""
+        """Prevent the callback from firing.
+
+        The heap entry remains until the owning simulator reaches or
+        compacts it; the simulator keeps a count of cancelled entries so
+        ``pending`` stays O(1) and heavily-cancelled heaps get rebuilt.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.owner is not None:
+            self.owner._note_cancel()
 
 
 class Simulator:
@@ -44,11 +54,16 @@ class Simulator:
     [1.0, 5.0]
     """
 
+    #: Compact the heap when at least this many entries are cancelled
+    #: *and* they outnumber the live ones (amortised O(1) per cancel).
+    _COMPACT_MIN = 64
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
         self._queue: list[Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        self._cancelled = 0
 
     @property
     def now(self) -> float:
@@ -58,7 +73,7 @@ class Simulator:
     @property
     def pending(self) -> int:
         """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled
 
     @property
     def processed(self) -> int:
@@ -77,15 +92,28 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
-        event = Event(time=time, seq=next(self._seq), callback=callback)
+        event = Event(
+            time=time, seq=next(self._seq), callback=callback, owner=self
+        )
         heapq.heappush(self._queue, event)
         return event
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled >= self._COMPACT_MIN
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
 
     def step(self) -> bool:
         """Fire the next event; returns False when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             self._processed += 1
@@ -95,7 +123,12 @@ class Simulator:
 
     def run(self, *, until: float | None = None, max_events: int | None = None) -> None:
         """Run until the queue drains, ``until`` is reached, or
-        ``max_events`` have fired (a runaway guard for tests)."""
+        ``max_events`` have fired (a runaway guard for tests).
+
+        When ``until`` is given the clock always ends at ``until`` —
+        including when the queue drains *before* the horizon — so
+        ``run(until=t)`` leaves ``now == t`` unless an error aborts it.
+        """
         fired = 0
         while self._queue:
             if max_events is not None and fired >= max_events:
@@ -105,10 +138,13 @@ class Simulator:
             next_event = self._queue[0]
             if next_event.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled -= 1
                 continue
             if until is not None and next_event.time > until:
                 self._now = until
                 return
             if not self.step():
-                return
+                break
             fired += 1
+        if until is not None and self._now < until:
+            self._now = until

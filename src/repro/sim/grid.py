@@ -32,6 +32,8 @@ from typing import Callable
 from repro.dagman.condor import ClassAd, match
 from repro.dagman.dag import DagJob
 from repro.dagman.events import JobAttempt, JobStatus
+from repro.observe.bus import EventBus
+from repro.observe.events import EventKind, RunEvent
 from repro.sim.engine import Simulator
 from repro.sim.failures import FailureModel
 from repro.sim.machine import MachineSpec, make_machines
@@ -123,9 +125,11 @@ class OpportunisticGrid:
         config: GridConfig = GridConfig(),
         *,
         streams: RngStreams | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self.simulator = simulator
         self.config = config.with_sites()
+        self.bus = bus
         streams = streams or RngStreams(seed=0)
         self._wait_rng = streams.stream(f"{self.config.name}.wait")
         self._setup_rng = streams.stream(f"{self.config.name}.setup")
@@ -154,6 +158,12 @@ class OpportunisticGrid:
         self._queue: list[
             tuple[DagJob, Callable[[JobAttempt], None], int, float]
         ] = []
+        # Jobs that have *arrived* at their slot (setup or payload in
+        # progress). ``busy_slots`` counts reserved slots from match
+        # time; the paper's utilization numbers must not count the
+        # opportunistic-wait window as busy, so the peak is recorded
+        # from arrivals (see ``_arrive``), not from matches.
+        self._occupied = 0
         self.peak_busy = 0
         self.eviction_count = 0
         self.start_failure_count = 0
@@ -176,24 +186,25 @@ class OpportunisticGrid:
             # No resource in the entire pool can ever run this job: it
             # idles in the queue until the hold timeout expires.
             timeout = self.config.unmatched_timeout_s
-            self.simulator.schedule(
-                timeout,
-                lambda: on_complete(
-                    JobAttempt(
-                        job_name=job.name,
-                        transformation=job.transformation,
-                        site=self.config.name,
-                        machine="(unmatched)",
-                        attempt=attempt,
-                        submit_time=submit_time,
-                        setup_start=submit_time + timeout,
-                        exec_start=submit_time + timeout,
-                        exec_end=submit_time + timeout,
-                        status=JobStatus.FAILED,
-                        error="no matching resources in the pool",
-                    )
-                ),
-            )
+
+            def hold_expired() -> None:
+                record = JobAttempt(
+                    job_name=job.name,
+                    transformation=job.transformation,
+                    site=self.config.name,
+                    machine="(unmatched)",
+                    attempt=attempt,
+                    submit_time=submit_time,
+                    setup_start=submit_time + timeout,
+                    exec_start=submit_time + timeout,
+                    exec_end=submit_time + timeout,
+                    status=JobStatus.FAILED,
+                    error="no matching resources in the pool",
+                )
+                self._emit_terminal(record)
+                on_complete(record)
+
+            self.simulator.schedule(timeout, hold_expired)
             return
         self._queue.append((job, on_complete, attempt, submit_time))
         self._dispatch()
@@ -205,11 +216,66 @@ class OpportunisticGrid:
 
     @property
     def busy_slots(self) -> int:
+        """Slots reserved for a job (from match time; includes the
+        opportunistic-wait window before the job arrives)."""
         return len(self._machines) - len(self._free)
 
+    @property
+    def occupied_slots(self) -> int:
+        """Slots actually doing work (setup or payload in progress)."""
+        return self._occupied
+
     def queue_status(self) -> dict[str, int]:
-        """``condor_q``-style snapshot: idle (unmatched) vs running."""
-        return {"idle": len(self._queue), "running": self.busy_slots}
+        """``condor_q``-style snapshot: idle vs running.
+
+        A matched job still riding out its opportunistic-wait window
+        counts as *idle* — nothing is executing on its behalf yet — so
+        utilization sampled from this snapshot is not inflated by slot
+        acquisition time.
+        """
+        waiting_matched = self.busy_slots - self._occupied
+        return {
+            "idle": len(self._queue) + waiting_matched,
+            "running": self._occupied,
+        }
+
+    def _emit(self, kind: EventKind, job: DagJob, attempt: int,
+              machine: MachineSpec) -> None:
+        if self.bus is None:
+            return
+        self.bus.emit(
+            RunEvent(
+                kind,
+                self.simulator.now,
+                job_name=job.name,
+                transformation=job.transformation,
+                site=machine.site,
+                machine=machine.name,
+                attempt=attempt,
+            )
+        )
+
+    def _emit_terminal(self, record: JobAttempt) -> None:
+        if self.bus is None:
+            return
+        kind = (
+            EventKind.EVICT
+            if record.status is JobStatus.EVICTED
+            else EventKind.FINISH
+        )
+        self.bus.emit(
+            RunEvent(
+                kind,
+                self.simulator.now,
+                job_name=record.job_name,
+                transformation=record.transformation,
+                site=record.site,
+                machine=record.machine,
+                attempt=record.attempt,
+                record=record,
+                detail={"status": record.status.value},
+            )
+        )
 
     def _matchable_at_all(self, job: DagJob) -> bool:
         ad = self._job_ad(job)
@@ -241,8 +307,8 @@ class OpportunisticGrid:
                 still_queued.append(entry)
                 continue
             self._free.remove(chosen.name)
-            self.peak_busy = max(self.peak_busy, self.busy_slots)
             machine = self._by_name[chosen.name]
+            self._emit(EventKind.MATCH, job, attempt, machine)
             wait = self.config.dispatch_latency_s + self._sample_wait()
             self.simulator.schedule(
                 wait,
@@ -272,26 +338,32 @@ class OpportunisticGrid:
     ) -> None:
         """The job reached its slot: maybe DOA, else setup then payload."""
         setup_start = self.now
+        # The slot only now starts doing work for this job; the sampled
+        # waiting window it spent reserved does not count toward peak
+        # utilization (the paper's "waiting time" is idle time).
+        self._occupied += 1
+        self.peak_busy = max(self.peak_busy, self._occupied)
         if self.config.failures.sample_start_failure(self._failure_rng):
             self.start_failure_count += 1
             self._release(machine)
-            on_complete(
-                JobAttempt(
-                    job_name=job.name,
-                    transformation=job.transformation,
-                    site=machine.site,
-                    machine=machine.name,
-                    attempt=attempt,
-                    submit_time=submit_time,
-                    setup_start=setup_start,
-                    exec_start=setup_start,
-                    exec_end=setup_start,
-                    status=JobStatus.FAILED,
-                    error="node misconfiguration (dead on arrival)",
-                )
+            record = JobAttempt(
+                job_name=job.name,
+                transformation=job.transformation,
+                site=machine.site,
+                machine=machine.name,
+                attempt=attempt,
+                submit_time=submit_time,
+                setup_start=setup_start,
+                exec_start=setup_start,
+                exec_end=setup_start,
+                status=JobStatus.FAILED,
+                error="node misconfiguration (dead on arrival)",
             )
+            self._emit_terminal(record)
+            on_complete(record)
             return
 
+        self._emit(EventKind.SETUP_START, job, attempt, machine)
         setup = 0.0
         if job.needs_setup:
             setup = bounded_lognormal(
@@ -317,6 +389,7 @@ class OpportunisticGrid:
         machine: MachineSpec,
     ) -> None:
         exec_start = self.now
+        self._emit(EventKind.EXEC_START, job, attempt, machine)
         duration = job.runtime / machine.speed
         eviction_in = self.config.failures.sample_eviction_time(
             self._failure_rng
@@ -366,8 +439,10 @@ class OpportunisticGrid:
             error=error,
         )
         self._release(machine)
+        self._emit_terminal(record)
         on_complete(record)
 
     def _release(self, machine: MachineSpec) -> None:
+        self._occupied -= 1
         self._free.append(machine.name)
         self._dispatch()

@@ -8,8 +8,11 @@ Our equivalents operate on a *submit directory*:
   for a site, and write ``workflow.dax`` + ``workflow.dag`` into the
   submit directory;
 * ``repro-run``    — execute the planned workflow on the simulated
-  platform and write ``trace.jsonl``;
-* ``repro-status`` — print progress from ``trace.jsonl``;
+  platform; streams ``events.jsonl`` live and leaves ``trace.jsonl``,
+  ``trace.chrome.json`` (open in Perfetto / about://tracing),
+  ``utilization.tsv`` and ``metrics.json`` behind;
+* ``repro-status`` — pegasus-status-style view from ``events.jsonl``
+  (``--follow`` tails a run in flight);
 * ``repro-statistics`` — print the pegasus-statistics report;
 * ``repro-analyzer``   — print the failure post-mortem.
 """
@@ -34,6 +37,10 @@ __all__ = [
 
 PLAN_FILE = "plan.json"
 TRACE_FILE = "trace.jsonl"
+EVENTS_FILE = "events.jsonl"
+CHROME_TRACE_FILE = "trace.chrome.json"
+UTILIZATION_FILE = "utilization.tsv"
+METRICS_FILE = "metrics.json"
 
 
 def _submit_dir(path: str) -> Path:
@@ -112,16 +119,35 @@ def main_plan(argv: list[str] | None = None) -> int:
 
 
 def main_run(argv: list[str] | None = None) -> int:
-    """``repro-run``: execute the planned workflow on the simulator."""
+    """``repro-run``: execute the planned workflow on the simulator.
+
+    The run is fully observed: the event bus streams ``events.jsonl``
+    as the (virtual) run progresses — tail it with ``repro-status
+    --follow`` from another terminal — and on completion the submit
+    directory holds the Chrome trace, the sampled utilization series,
+    and the metrics snapshot alongside the classic attempt trace.
+    """
     parser = argparse.ArgumentParser(
         prog="repro-run", description="Execute a planned workflow (simulated)."
     )
     parser.add_argument("--submit-dir", required=True)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sample-interval", type=float, default=60.0,
+                        help="utilization sampling cadence in simulated "
+                             "seconds (0 disables sampling)")
     args = parser.parse_args(argv)
 
     from repro.dagman.dag import Dag, DagJob
     from repro.dagman.scheduler import DagmanScheduler
+    from repro.observe import (
+        EventBus,
+        EventKind,
+        EventLogWriter,
+        EventRecorder,
+        UtilizationSampler,
+        instrument,
+        write_chrome_trace,
+    )
     from repro.sim.cloud import CloudPlatform
     from repro.sim.cluster import CampusCluster
     from repro.sim.engine import Simulator
@@ -148,18 +174,61 @@ def main_run(argv: list[str] | None = None) -> int:
 
     simulator = Simulator()
     streams = RngStreams(seed=args.seed)
+    bus = EventBus()
+    recorder = EventRecorder(bus)
+    metrics = instrument(bus)
+    env: CampusCluster | CloudPlatform | OpportunisticGrid
     if meta["site"] == "sandhills":
-        env = CampusCluster(simulator, streams=streams)
+        env = CampusCluster(simulator, streams=streams, bus=bus)
     elif meta["site"] == "cloud":
-        env = CloudPlatform(simulator, streams=streams)
+        env = CloudPlatform(simulator, streams=streams, bus=bus)
     else:
-        env = OpportunisticGrid(simulator, streams=streams)
-    result = DagmanScheduler(dag, env).run()
+        env = OpportunisticGrid(simulator, streams=streams, bus=bus)
+
+    # Truncate any previous event log, then stream this run into it.
+    (submit / EVENTS_FILE).write_text("")
+    sampler = None
+    with EventLogWriter(submit / EVENTS_FILE, bus):
+        scheduler = DagmanScheduler(dag, env, bus=bus)
+        scheduler.start()
+        if args.sample_interval > 0:
+            sampler = UtilizationSampler(
+                simulator, env, interval_s=args.sample_interval, bus=bus
+            ).start()
+        env.run_until_complete()
+        result = scheduler.finish()
+
     write_trace(submit / TRACE_FILE, result.trace)
+    write_chrome_trace(
+        submit / CHROME_TRACE_FILE, result.trace,
+        samples=sampler.samples if sampler is not None else None,
+        workflow=dag.name,
+    )
+    if sampler is not None:
+        atomic_write(
+            submit / UTILIZATION_FILE,
+            "time_s\tbusy\tidle\n"
+            + "".join(
+                f"{s.time:.0f}\t{s.busy}\t{s.idle}\n" for s in sampler.samples
+            ),
+        )
+    atomic_write(
+        submit / METRICS_FILE, json.dumps(metrics.snapshot(), indent=2)
+    )
     print(
         f"workflow {'succeeded' if result.success else 'FAILED'} in "
         f"{result.trace.wall_time():.0f} simulated seconds "
         f"({result.trace.retry_count} retries)"
+    )
+    terminal = sum(
+        1 for e in recorder.events
+        if e.kind in (EventKind.FINISH, EventKind.EVICT)
+    )
+    print(
+        f"observability: {len(recorder.events)} events "
+        f"({terminal} terminal) -> {EVENTS_FILE}, {CHROME_TRACE_FILE}"
+        + (f", {UTILIZATION_FILE}" if sampler is not None else "")
+        + f", {METRICS_FILE}"
     )
     if isinstance(env, CloudPlatform):
         print(f"cloud cost: ${env.billed_cost():.2f} "
@@ -178,18 +247,66 @@ def _load_trace(submit_dir: str):
 
 
 def main_status(argv: list[str] | None = None) -> int:
-    """``repro-status``: one-line progress summary."""
+    """``repro-status``: pegasus-status-style progress view.
+
+    With an ``events.jsonl`` in the submit directory (written live by
+    ``repro-run``) this renders the full live view — state histogram,
+    in-flight jobs with their current phase, failure/retry counters.
+    ``--follow`` keeps tailing the log until the workflow ends. Without
+    an event log it falls back to the classic one-liner from
+    ``trace.jsonl``.
+    """
     parser = argparse.ArgumentParser(prog="repro-status")
     parser.add_argument("--submit-dir", required=True)
+    parser.add_argument("--follow", action="store_true",
+                        help="keep tailing events.jsonl until workflow end")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="poll interval for --follow, in seconds")
     args = parser.parse_args(argv)
 
-    from repro.wms.monitor import progress_line
-
     submit = Path(args.submit_dir)
-    trace = _load_trace(args.submit_dir)
     meta = json.loads((submit / PLAN_FILE).read_text())
-    print(progress_line(trace, total_jobs=len(meta["jobs"])))
-    return 0
+    total_jobs = len(meta["jobs"])
+    events_path = submit / EVENTS_FILE
+
+    if not events_path.exists():
+        from repro.wms.monitor import progress_line
+
+        trace = _load_trace(args.submit_dir)
+        print(progress_line(trace, total_jobs=total_jobs))
+        return 0
+
+    import time
+
+    from repro.observe import StatusView, iter_events
+    from repro.observe.log import event_from_json
+
+    view = StatusView(total_jobs=total_jobs)
+    if not args.follow:
+        view.feed(iter_events(events_path))
+        print(view.render())
+        return 0
+
+    # Tail mode: consume appended lines until workflow.end (or ^C).
+    with open(events_path, encoding="utf-8") as fh:
+        buffered = ""
+        try:
+            while True:
+                chunk = fh.readline()
+                if chunk:
+                    buffered += chunk
+                    if not buffered.endswith("\n"):
+                        continue  # partial line; wait for the rest
+                    view.update(event_from_json(json.loads(buffered)))
+                    buffered = ""
+                    continue
+                print(view.render())
+                print("---")
+                if view.workflow_done is not None:
+                    return 0 if view.workflow_done else 1
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 130
 
 
 def main_statistics(argv: list[str] | None = None) -> int:
@@ -201,7 +318,14 @@ def main_statistics(argv: list[str] | None = None) -> int:
     from repro.wms.statistics import render_report, summarize
 
     trace = _load_trace(args.submit_dir)
-    print(render_report(summarize(trace), title=args.submit_dir))
+    # The plan's job count makes the report honest about descendants of
+    # failed jobs that never got to run (planned vs attempted).
+    expected = None
+    plan_path = Path(args.submit_dir) / PLAN_FILE
+    if plan_path.exists():
+        expected = len(json.loads(plan_path.read_text())["jobs"])
+    print(render_report(summarize(trace, expected_jobs=expected),
+                        title=args.submit_dir))
     return 0
 
 
@@ -213,12 +337,24 @@ def main_plots(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-rows", type=int, default=40)
     args = parser.parse_args(argv)
 
-    from repro.wms.plots import gantt, utilization
+    from repro.wms.plots import gantt, utilization, utilization_series
 
     trace = _load_trace(args.submit_dir)
     print(gantt(trace, width=args.width, max_rows=args.max_rows))
     print()
     print(utilization(trace))
+    sampled = Path(args.submit_dir) / UTILIZATION_FILE
+    if sampled.exists():
+        from repro.observe import UtilizationSample
+
+        samples = []
+        for line in sampled.read_text().splitlines()[1:]:
+            t, busy, idle = line.split("\t")
+            samples.append(
+                UtilizationSample(float(t), int(busy), int(idle))
+            )
+        print()
+        print(utilization_series(samples, width=args.width))
     return 0
 
 

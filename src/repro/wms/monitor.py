@@ -63,12 +63,23 @@ def write_trace(path: str | Path, trace: WorkflowTrace | Iterable[JobAttempt]) -
 
 
 def read_trace(path: str | Path) -> WorkflowTrace:
-    """Load a JSONL event log back into a trace."""
+    """Load a JSONL log back into a trace.
+
+    Accepts both the classic attempt-per-line logs this module writes
+    and the richer :mod:`repro.observe.log` event logs — those are a
+    superset schema whose terminal events (``job.finish``/``job.evict``)
+    carry every attempt field. Lines describing non-terminal lifecycle
+    events (submits, state changes, samples, …) are skipped, so the
+    recovered trace is identical either way.
+    """
     trace = WorkflowTrace()
     for line in Path(path).read_text().splitlines():
         if not line.strip():
             continue
-        trace.add(_from_dict(json.loads(line)))
+        record = json.loads(line)
+        if not all(name in record for name in (*_FIELDS, "status")):
+            continue  # a non-terminal observe-layer event line
+        trace.add(_from_dict(record))
     return trace
 
 

@@ -13,9 +13,14 @@ useful ones as monospace text (no plotting dependency):
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
 from repro.dagman.events import WorkflowTrace
 
-__all__ = ["gantt", "utilization"]
+if TYPE_CHECKING:
+    from repro.observe.sampler import UtilizationSample
+
+__all__ = ["gantt", "utilization", "utilization_series"]
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
 
@@ -103,4 +108,38 @@ def utilization(trace: WorkflowTrace, *, bins: int = 60) -> str:
     return (
         f"running jobs over time (peak {peak}, span {span:,.0f}s):\n"
         f"|{strip}|"
+    )
+
+
+def utilization_series(
+    samples: "Iterable[UtilizationSample]", *, width: int = 72
+) -> str:
+    """Render a *sampled* utilization time series as a bar strip.
+
+    Unlike :func:`utilization`, which reconstructs occupancy from
+    attempt records after the fact, this renders what the
+    :class:`~repro.observe.sampler.UtilizationSampler` actually measured
+    during the run (busy platform slots per tick) — the live-monitoring
+    counterpart. Samples are rebinned to ``width`` columns by averaging.
+    """
+    samples = list(samples)
+    if not samples:
+        return "(no samples)"
+    busy = [s.busy for s in samples]
+    span = samples[-1].time - samples[0].time
+    if len(busy) > width:
+        bins: list[float] = []
+        for i in range(width):
+            lo = i * len(busy) // width
+            hi = max(lo + 1, (i + 1) * len(busy) // width)
+            bins.append(sum(busy[lo:hi]) / (hi - lo))
+        busy = bins  # type: ignore[assignment]
+    peak = max(busy) or 1
+    strip = "".join(
+        _BLOCKS[min(len(_BLOCKS) - 1, round(b / peak * (len(_BLOCKS) - 1)))]
+        for b in busy
+    )
+    return (
+        f"sampled busy slots over time (peak {max(s.busy for s in samples)}, "
+        f"{len(samples)} samples, span {span:,.0f}s):\n|{strip}|"
     )

@@ -28,6 +28,7 @@ __all__ = [
     "SiteStats",
     "WorkflowStatistics",
     "summarize",
+    "summarize_events",
     "per_transformation",
     "per_site",
     "critical_path",
@@ -55,7 +56,15 @@ class TransformationStats:
 
 @dataclass
 class WorkflowStatistics:
-    """The whole-run summary block."""
+    """The whole-run summary block.
+
+    ``total_jobs`` is the *planned* job count when the DAG (or an
+    expected-jobs count) was given to :func:`summarize`, else the number
+    of jobs that have at least one attempt. The planned/attempted/
+    unrunnable triple makes partially-run workflows report honestly:
+    descendants of a failed job never produce an attempt record, but
+    they were planned work and must not silently vanish.
+    """
 
     wall_time: float
     cumulative_kickstart: float
@@ -64,6 +73,12 @@ class WorkflowStatistics:
     failed_attempts: int
     retries: int
     transformations: list[TransformationStats] = field(default_factory=list)
+    #: Jobs in the plan (None when summarize() was given only a trace).
+    planned_jobs: int | None = None
+    #: Jobs with at least one attempt record.
+    attempted_jobs: int = 0
+    #: Planned jobs that never ran (failed ancestors made them unrunnable).
+    unattempted_jobs: int = 0
 
     @property
     def speedup(self) -> float:
@@ -179,17 +194,77 @@ def critical_path(trace: WorkflowTrace, dag) -> list[JobAttempt]:
     return chain
 
 
-def summarize(trace: WorkflowTrace) -> WorkflowStatistics:
-    """Aggregate a trace into the pegasus-statistics summary."""
+def summarize(
+    trace: WorkflowTrace,
+    *,
+    dag=None,
+    expected_jobs: int | None = None,
+) -> WorkflowStatistics:
+    """Aggregate a trace into the pegasus-statistics summary.
+
+    Pass the executed ``dag`` (a :class:`repro.dagman.dag.Dag`) or an
+    ``expected_jobs`` count so the report covers *planned* work, not
+    just attempted work: when a job fails hard, its descendants never
+    get an attempt record, and a trace-only summary would silently
+    undercount the workflow. With plan information, ``total_jobs`` is
+    the planned count and ``unattempted_jobs`` reports the jobs that
+    never ran.
+    """
+    if dag is not None and expected_jobs is not None:
+        raise ValueError("pass dag or expected_jobs, not both")
     succeeded = trace.successful()
+    attempted_names = {a.job_name for a in trace}
+    planned: int | None = None
+    if dag is not None:
+        planned = len(dag.jobs)
+        extra = attempted_names - set(dag.jobs)
+        if extra:
+            raise ValueError(
+                "trace contains jobs not in the DAG: "
+                + ", ".join(sorted(extra)[:5])
+            )
+    elif expected_jobs is not None:
+        if expected_jobs < len(attempted_names):
+            raise ValueError(
+                f"expected_jobs={expected_jobs} is fewer than the "
+                f"{len(attempted_names)} jobs present in the trace"
+            )
+        planned = expected_jobs
     return WorkflowStatistics(
         wall_time=trace.wall_time(),
         cumulative_kickstart=trace.cumulative_kickstart(),
-        total_jobs=len({a.job_name for a in trace}),
+        total_jobs=planned if planned is not None else len(attempted_names),
         succeeded_jobs=len(succeeded),
         failed_attempts=len(trace.failures()),
         retries=trace.retry_count,
         transformations=per_transformation(trace),
+        planned_jobs=planned,
+        attempted_jobs=len(attempted_names),
+        unattempted_jobs=(
+            planned - len(attempted_names) if planned is not None else 0
+        ),
+    )
+
+
+def summarize_events(
+    events,
+    *,
+    dag=None,
+    expected_jobs: int | None = None,
+) -> WorkflowStatistics:
+    """Summarize straight from a :mod:`repro.observe` event stream.
+
+    The live view and the statistics report share one source of truth:
+    terminal events carry the full attempt records, so this is exactly
+    :func:`summarize` over the trace they reconstruct. ``events`` is
+    any iterable of :class:`repro.observe.events.RunEvent` (e.g. an
+    :class:`~repro.observe.bus.EventRecorder`'s capture, or
+    :func:`repro.observe.log.read_events` over a JSONL log).
+    """
+    from repro.observe.bus import events_to_trace
+
+    return summarize(
+        events_to_trace(events), dag=dag, expected_jobs=expected_jobs
     )
 
 
@@ -204,6 +279,15 @@ def render_report(stats: WorkflowStatistics, *, title: str = "workflow") -> str:
         f"Cumulative job wall time          : {format_duration(stats.cumulative_kickstart)}"
         f" ({stats.cumulative_kickstart:.0f} s)",
         f"Total jobs                        : {stats.total_jobs}",
+        *(
+            [
+                f"  planned                         : {stats.planned_jobs}",
+                f"  attempted                       : {stats.attempted_jobs}",
+                f"  never ran (unrunnable)          : {stats.unattempted_jobs}",
+            ]
+            if stats.planned_jobs is not None
+            else []
+        ),
         f"Succeeded jobs                    : {stats.succeeded_jobs}",
         f"Failed/evicted attempts           : {stats.failed_attempts}",
         f"Retries                           : {stats.retries}",

@@ -22,6 +22,9 @@ DOCTEST_MODULES = [
     "repro.blast.filter",
     "repro.core.pipeline",
     "repro.wms.monitor",
+    "repro.observe.bus",
+    "repro.observe.metrics",
+    "repro.observe.sampler",
 ]
 
 
