@@ -22,8 +22,10 @@ from repro.core.workflow_factory import (
     build_blast2cap3_adag,
     run_local,
     simulate_paper_run,
+    simulate_paper_run_with_recovery,
 )
 from repro.datagen.workload import generate_blast2cap3_workload
+from repro.resilience import run_with_recovery
 from repro.wms.statistics import render_report, summarize
 
 __all__ = [
@@ -33,6 +35,8 @@ __all__ = [
     "build_blast2cap3_adag",
     "run_local",
     "simulate_paper_run",
+    "simulate_paper_run_with_recovery",
+    "run_with_recovery",
     "generate_blast2cap3_workload",
     "summarize",
     "render_report",

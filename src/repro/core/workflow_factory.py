@@ -25,6 +25,9 @@ from typing import TYPE_CHECKING, Any, Callable, Literal, Mapping
 
 if TYPE_CHECKING:  # annotation-only; the bus is an optional wire-in
     from repro.observe.bus import EventBus
+    from repro.resilience.blacklist import BlacklistPolicy
+    from repro.resilience.faults import FaultPlan
+    from repro.resilience.retry import RetryPolicy
 
 from repro.cap3.assembler import Cap3Params
 from repro.dagman.scheduler import DagmanResult, DagmanScheduler
@@ -57,6 +60,7 @@ __all__ = [
     "default_catalogs",
     "run_local",
     "simulate_paper_run",
+    "simulate_paper_run_with_recovery",
     "workflow_figure",
 ]
 
@@ -437,6 +441,86 @@ def simulate_paper_run(
     result = scheduler.finish()
     _LAST_ENVIRONMENTS[id(result)] = env
     return result, planned
+
+
+def simulate_paper_run_with_recovery(
+    n: int,
+    platform: Platform,
+    *,
+    seed: int = 0,
+    model: PaperTaskModel | None = None,
+    cluster_config: CampusClusterConfig | None = None,
+    grid_config: GridConfig | None = None,
+    cloud_config: CloudConfig | None = None,
+    planner_options: PlannerOptions | None = None,
+    partition_strategy: str = "round_robin",
+    bus: "EventBus | None" = None,
+    fault_plan: "FaultPlan | None" = None,
+    blacklist_policy: "BlacklistPolicy | None" = None,
+    retry_policy: "RetryPolicy | None" = None,
+    max_rounds: int = 3,
+):
+    """Simulate a paper-scale run under the resilience layer.
+
+    Like :func:`simulate_paper_run`, but the whole run goes through
+    :func:`repro.resilience.run_with_recovery`: failed rounds rescue
+    and resubmit automatically (up to ``max_rounds``), an optional
+    ``fault_plan`` injects chaos on top of the platform's calibrated
+    failure regime, ``blacklist_policy`` arms the start-failure circuit
+    breaker, and ``retry_policy`` shapes DAGMan's requeues. Returns
+    ``(RecoveryResult, PlannedWorkflow)``.
+    """
+    from repro.resilience import Blacklist, FaultInjector, run_with_recovery
+
+    if platform not in ("sandhills", "osg", "cloud"):
+        raise ValueError(f"unknown platform: {platform!r}")
+    model = model or PaperTaskModel()
+    adag = build_blast2cap3_adag(
+        n, model=model, partition_strategy=partition_strategy
+    )
+    sites, transformations, replicas = default_catalogs()
+    options = planner_options or PlannerOptions(retries=20)
+    planned = plan(
+        adag,
+        site_name=platform,
+        sites=sites,
+        transformations=transformations,
+        replicas=replicas,
+        options=options,
+    )
+    simulator = Simulator()
+    streams = RngStreams(seed=seed)
+    injector = None
+    if fault_plan is not None:
+        injector = FaultInjector(
+            fault_plan, rng=streams.stream("faults"), bus=bus
+        )
+    blacklist = None
+    if blacklist_policy is not None:
+        blacklist = Blacklist(blacklist_policy, bus=bus)
+    env: CampusCluster | OpportunisticGrid | CloudPlatform
+    if platform == "sandhills":
+        env = CampusCluster(
+            simulator, cluster_config or CampusClusterConfig(),
+            streams=streams, bus=bus, injector=injector,
+            blacklist=blacklist,
+        )
+    elif platform == "osg":
+        env = OpportunisticGrid(
+            simulator, grid_config or GridConfig(), streams=streams,
+            bus=bus, injector=injector, blacklist=blacklist,
+        )
+    else:
+        env = CloudPlatform(
+            simulator, cloud_config or CloudConfig(), streams=streams,
+            bus=bus, injector=injector,
+        )
+    outcome = run_with_recovery(
+        planned.dag, env, max_rounds=max_rounds, bus=bus,
+        retry_policy=retry_policy,
+    )
+    _LAST_ENVIRONMENTS[id(outcome)] = env
+    return outcome, planned
 
 
 #: Weak side-channel: environments of recent runs, keyed by result id,

@@ -5,7 +5,10 @@ Python callable (real local execution) or a runtime/IO profile (the
 platform simulators), plus DAGMan metadata (retries, priority). The
 :class:`Dag` holds jobs and dependency edges, validates acyclicity, and
 serialises to the subset of the HTCondor DAGMan file format we use
-(``JOB`` / ``PARENT..CHILD`` / ``RETRY`` / ``PRIORITY`` / ``DONE``).
+(``JOB`` / ``PARENT..CHILD`` / ``RETRY`` / ``PRIORITY`` / ``DONE``),
+plus a ``TIMEOUT <job> <seconds>`` extension carrying the per-job
+execution deadline (real DAGMan spells this ``ABORT-DAG-ON`` +
+periodic holds; one keyword keeps the round-trip honest).
 """
 
 from __future__ import annotations
@@ -83,6 +86,10 @@ class DagJob:
     marks the OSG-style jobs that must download/install their software
     before running (the red rectangles of Fig. 3). ``requirements`` is a
     ClassAd expression evaluated against machine ads at match time.
+    ``timeout_s`` bounds the *execution* (kickstart) window of one
+    attempt: platforms kill the payload after that many seconds and
+    report :attr:`~repro.dagman.events.JobStatus.TIMEOUT` — the defence
+    against hung payloads and the stragglers OSG is known for.
     """
 
     name: str
@@ -94,6 +101,7 @@ class DagJob:
     retries: int = 0
     priority: int = 0
     requirements: str | None = None
+    timeout_s: float | None = None
     payload: Callable[[], object] | None = field(
         default=None, compare=False, repr=False
     )
@@ -105,6 +113,8 @@ class DagJob:
             raise ValueError("runtime must be >= 0")
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
 
 
 class Dag:
@@ -192,6 +202,8 @@ class Dag:
                 lines.append(f"RETRY {name} {job.retries}")
             if job.priority:
                 lines.append(f"PRIORITY {name} {job.priority}")
+            if job.timeout_s is not None:
+                lines.append(f"TIMEOUT {name} {job.timeout_s:g}")
             if name in self.done:
                 lines.append(f"DONE {name}")
         for parent, child in self.edges():
@@ -225,6 +237,10 @@ class Dag:
             elif keyword == "PRIORITY":
                 dag.jobs[fields[1]] = replace(
                     dag.jobs[fields[1]], priority=int(fields[2])
+                )
+            elif keyword == "TIMEOUT":
+                dag.jobs[fields[1]] = replace(
+                    dag.jobs[fields[1]], timeout_s=float(fields[2])
                 )
             elif keyword == "DONE":
                 dag.done.add(fields[1])

@@ -33,6 +33,7 @@ class JobStatus(Enum):
     SUCCEEDED = "succeeded"
     FAILED = "failed"
     EVICTED = "evicted"  # preempted by the resource owner (OSG)
+    TIMEOUT = "timeout"  # killed after exceeding DagJob.timeout_s
 
     @property
     def is_success(self) -> bool:

@@ -5,13 +5,20 @@ execution environment (real or simulated):
 
 * a job is **ready** when every parent has succeeded;
 * ready jobs are submitted highest-priority first, subject to the
-  ``max_jobs`` throttle (Condor's ``DAGMAN_MAX_JOBS_SUBMITTED``);
+  ``max_jobs`` throttle (Condor's ``DAGMAN_MAX_JOBS_SUBMITTED``); ties
+  break FIFO by *readiness* time, so a retried job re-enters the queue
+  behind equal-priority nodes that have been waiting on the throttle;
 * a failed or evicted attempt is retried while the job has retries
   left (``RETRY`` lines), otherwise the job is failed and all of its
-  descendants become unrunnable;
+  descendants become unrunnable. A
+  :class:`~repro.resilience.retry.RetryPolicy` refines *when*: delayed
+  retries park the node in the ``HELD`` state and release through the
+  environment's ``call_later``, and evictions can requeue without
+  consuming a retry (the platform's fault, not the job's);
 * when nothing more can run, the run ends; if anything failed, a
   **rescue DAG** (original DAG with ``DONE`` marks) can be written and
-  re-submitted later, exactly like ``*.rescue001`` files.
+  re-submitted later, exactly like ``*.rescue001`` files —
+  :func:`repro.resilience.run_with_recovery` automates that loop.
 
 The scheduler is clock-agnostic: it reads time only through the
 environment, so the same code runs under the virtual clock and the real
@@ -23,12 +30,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
-from typing import Callable, Protocol
+from typing import TYPE_CHECKING, Callable, Protocol
 
 from repro.dagman.dag import Dag, DagJob
-from repro.dagman.events import JobAttempt, WorkflowTrace
+from repro.dagman.events import JobAttempt, JobStatus, WorkflowTrace
 from repro.observe.bus import EventBus
 from repro.observe.events import EventKind, RunEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.retry import RetryPolicy
 
 __all__ = ["ExecutionEnvironment", "DagmanScheduler", "DagmanResult", "NodeState"]
 
@@ -54,7 +64,12 @@ class ExecutionEnvironment(Protocol):
         ...
 
     def run_until_complete(self) -> None:
-        """Drive the platform until no submitted work remains."""
+        """Drive the platform until no submitted work remains.
+
+        Environments may additionally provide ``call_later(delay_s,
+        fn)`` — used for delayed retries; without it, retry delays
+        degrade to immediate requeue.
+        """
         ...
 
 
@@ -64,6 +79,7 @@ class NodeState(Enum):
     UNREADY = "unready"
     READY = "ready"
     SUBMITTED = "submitted"
+    HELD = "held"  # waiting out a retry-policy delay
     DONE = "done"
     FAILED = "failed"
     UNRUNNABLE = "unrunnable"  # an ancestor failed
@@ -103,12 +119,18 @@ class DagmanScheduler:
         default_retries: int | None = None,
         on_attempt: Callable[[JobAttempt], None] | None = None,
         bus: EventBus | None = None,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> None:
         """``bus`` receives the full lifecycle event stream (submits,
         retries, node state changes, workflow start/end — see
         :mod:`repro.observe.events`); pass the same bus to the execution
         environment so platform-side events (match, setup, exec, finish)
         interleave on one timeline.
+
+        ``retry_policy`` (see :mod:`repro.resilience.retry`) controls
+        the timing and accounting of retries; ``None`` keeps the
+        historic behaviour — immediate requeue, every failure charged
+        against the ``RETRY`` budget.
 
         ``on_attempt`` is the legacy monitord hook, invoked for every
         finished attempt as it lands (stream attempts to a JSONL log
@@ -123,10 +145,14 @@ class DagmanScheduler:
         self.default_retries = default_retries
         self.on_attempt = on_attempt
         self.bus = bus
+        self.retry_policy = retry_policy
         self.trace = WorkflowTrace()
         self.states: dict[str, NodeState] = {}
         self._retries_left: dict[str, int] = {}
         self._attempt: dict[str, int] = {}
+        self._failed_attempts: dict[str, int] = {}
+        self._ready_seq: dict[str, int] = {}
+        self._seq = 0
         self._in_flight = 0
         self._started = False
         self._start_time = 0.0
@@ -171,6 +197,7 @@ class DagmanScheduler:
             )
             self._retries_left[name] = retries
             self._attempt[name] = 0
+            self._failed_attempts[name] = 0
             if name in self.dag.done:
                 self.states[name] = NodeState.DONE
             else:
@@ -236,6 +263,12 @@ class DagmanScheduler:
     def _set_state(self, name: str, state: NodeState) -> None:
         previous = self.states[name]
         self.states[name] = state
+        if state is NodeState.READY:
+            # Readiness order is the FIFO tie-break within a priority
+            # class, so retried jobs queue behind equal-priority nodes
+            # already waiting on the max_jobs throttle.
+            self._ready_seq[name] = self._seq
+            self._seq += 1
         if state is not previous:
             self._emit(
                 EventKind.STATE_CHANGE,
@@ -253,8 +286,13 @@ class DagmanScheduler:
         ready = [
             n for n, s in self.states.items() if s is NodeState.READY
         ]
-        # Highest priority first; insertion order breaks ties.
-        ready.sort(key=lambda n: -self.dag.jobs[n].priority)
+        # Highest priority first; readiness order (FIFO) breaks ties.
+        ready.sort(
+            key=lambda n: (
+                -self.dag.jobs[n].priority,
+                self._ready_seq.get(n, 0),
+            )
+        )
         for name in ready:
             if self.max_jobs is not None and self._in_flight >= self.max_jobs:
                 return
@@ -282,37 +320,97 @@ class DagmanScheduler:
             self.on_attempt(attempt)
         self._in_flight -= 1
         if attempt.status.is_success:
+            self._failed_attempts[name] = 0
             self._set_state(name, NodeState.DONE)
-            for child in self.dag.children(name):
+            # Sorted: children() is a set, and readiness order is the
+            # FIFO tie-break — iterating in hash order would make run
+            # outcomes depend on PYTHONHASHSEED.
+            for child in sorted(self.dag.children(name)):
                 if (
                     self.states[child] is NodeState.UNREADY
                     and self._parents_done(child)
                 ):
                     self._set_state(child, NodeState.READY)
-        elif self._retries_left[name] > 0:
-            self._retries_left[name] -= 1
-            self._emit(
-                EventKind.RETRY,
-                job=self.dag.jobs[name],
-                attempt=self._attempt[name],
-                detail={
-                    "retries_left": self._retries_left[name],
-                    "status": attempt.status.value,
-                },
-            )
-            self._set_state(name, NodeState.READY)
+        elif self._may_retry(name, attempt):
+            self._requeue(name, attempt)
         else:
             self._set_state(name, NodeState.FAILED)
             self._mark_descendants_unrunnable(name)
         self._submit_ready()
 
+    def _may_retry(self, name: str, attempt: JobAttempt) -> bool:
+        policy = self.retry_policy
+        self._failed_attempts[name] += 1
+        if (
+            policy is not None
+            and policy.budget is not None
+            and self._failed_attempts[name] > policy.budget
+        ):
+            return False  # runaway guard: total requeues capped
+        if self._is_free_requeue(attempt):
+            return True
+        return self._retries_left[name] > 0
+
+    def _is_free_requeue(self, attempt: JobAttempt) -> bool:
+        """Evictions are the platform's fault; a policy with
+        ``charge_evictions=False`` requeues them without spending a
+        ``RETRY``."""
+        return (
+            attempt.status is JobStatus.EVICTED
+            and self.retry_policy is not None
+            and not self.retry_policy.charge_evictions
+        )
+
+    def _requeue(self, name: str, attempt: JobAttempt) -> None:
+        charged = not self._is_free_requeue(attempt)
+        if charged:
+            self._retries_left[name] -= 1
+        policy = self.retry_policy
+        delay = (
+            policy.delay_s(self._attempt[name]) if policy is not None else 0.0
+        )
+        call_later = getattr(self.environment, "call_later", None)
+        if call_later is None:
+            delay = 0.0  # environment cannot park work; requeue now
+        self._emit(
+            EventKind.RETRY,
+            job=self.dag.jobs[name],
+            attempt=self._attempt[name],
+            detail={
+                "retries_left": self._retries_left[name],
+                "status": attempt.status.value,
+                "charged": charged,
+                "delay_s": delay,
+            },
+        )
+        if delay > 0:
+            self._emit(
+                EventKind.HELD,
+                job=self.dag.jobs[name],
+                attempt=self._attempt[name],
+                detail={
+                    "delay_s": delay,
+                    "until": self.environment.now + delay,
+                },
+            )
+            self._set_state(name, NodeState.HELD)
+
+            def release() -> None:
+                if self.states.get(name) is NodeState.HELD:
+                    self._set_state(name, NodeState.READY)
+                    self._submit_ready()
+
+            call_later(delay, release)
+        else:
+            self._set_state(name, NodeState.READY)
+
     def _mark_descendants_unrunnable(self, name: str) -> None:
-        stack = list(self.dag.children(name))
+        stack = sorted(self.dag.children(name))
         while stack:
             node = stack.pop()
             if self.states[node] in (NodeState.UNREADY, NodeState.READY):
                 self._set_state(node, NodeState.UNRUNNABLE)
-                stack.extend(self.dag.children(node))
+                stack.extend(sorted(self.dag.children(node)))
 
     @property
     def attempt_number(self) -> dict[str, int]:

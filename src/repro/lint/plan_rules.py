@@ -151,3 +151,30 @@ def _priority_inversion(ctx: LintContext) -> Iterator[Finding]:
                 "raise the producer's priority to at least the "
                 "consumer's",
             )
+
+
+@rule(
+    "PLAN005",
+    Severity.WARNING,
+    "no job timeout on a preemptible site",
+    requires=("planned", "site"),
+)
+def _no_timeout_preemptible(ctx: LintContext) -> Iterator[Finding]:
+    assert ctx.planned is not None and ctx.site is not None
+    if not _is_preemptible(ctx.site):
+        return
+    no_timeout = sorted(
+        name
+        for name in set(ctx.planned.job_map.values())
+        if ctx.planned.dag.jobs[name].timeout_s is None
+    )
+    if no_timeout:
+        yield finding(
+            f"site:{ctx.site.name}",
+            f"{len(no_timeout)} compute job(s) have no timeout on "
+            f"preemptible site {ctx.site.name!r} (e.g. "
+            f"{no_timeout[0]!r}); a hung attempt on a borrowed node "
+            "wedges the workflow with no failure to retry",
+            "set PlannerOptions(timeout_s=...) so hung attempts are "
+            "killed and retried",
+        )

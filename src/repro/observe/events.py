@@ -21,6 +21,17 @@ kind                      meaning
 ``job.retry``             DAGMan re-queued a failed/evicted job
 ``job.state_change``      a DAGMan node changed state (ready, done, …)
 ``platform.sample``       periodic utilization sample (busy/idle counts)
+``job.timeout``           the attempt exceeded ``DagJob.timeout_s`` and
+                          was killed (a ``job.finish`` with a
+                          ``timeout`` record follows)
+``job.held``              DAGMan parked a retry to wait out a
+                          :class:`~repro.resilience.retry.RetryPolicy`
+                          delay (``detail`` has delay/until)
+``fault.injected``        the chaos layer fired a fault
+                          (``detail["fault"]`` names it)
+``blacklist.add``         the circuit breaker blocked a machine or site
+``rescue.round``          ``run_with_recovery()`` wrote a rescue DAG
+                          and is resubmitting
 ========================  ==============================================
 
 Terminal events (``job.finish`` / ``job.evict``) carry the full
@@ -53,6 +64,11 @@ class EventKind(Enum):
     RETRY = "job.retry"
     STATE_CHANGE = "job.state_change"
     SAMPLE = "platform.sample"
+    TIMEOUT = "job.timeout"
+    HELD = "job.held"
+    FAULT = "fault.injected"
+    BLACKLIST = "blacklist.add"
+    RESCUE = "rescue.round"
 
 
 #: Kinds that end one attempt and carry its full :class:`JobAttempt`.
@@ -117,6 +133,16 @@ def attempt_events(record: JobAttempt) -> list[RunEvent]:
             RunEvent(EventKind.SETUP_START, record.setup_start, **common)
         )
     events.append(RunEvent(EventKind.EXEC_START, record.exec_start, **common))
+    if record.status is JobStatus.TIMEOUT:
+        # The watchdog fired at exec_end; the terminal record follows.
+        events.append(
+            RunEvent(
+                EventKind.TIMEOUT,
+                record.exec_end,
+                detail={"error": record.error} if record.error else {},
+                **common,
+            )
+        )
     terminal = (
         EventKind.EVICT
         if record.status is JobStatus.EVICTED

@@ -162,7 +162,8 @@ def instrument(bus: EventBus, registry: MetricsRegistry | None = None) -> Metric
     Maintained live, from events alone:
 
     * ``events_total{kind=…}`` — counter per event kind;
-    * ``retries_total`` / ``evictions_total`` / ``failures_total``;
+    * ``retries_total`` / ``evictions_total`` / ``failures_total`` /
+      ``timeouts_total`` / ``faults_injected_total``;
     * ``jobs_in_flight`` — gauge (submits minus terminals);
     * ``queue_idle`` / ``slots_busy`` — gauges from utilization samples;
     * ``kickstart_s{transformation=…}``, ``waiting_s``,
@@ -178,6 +179,10 @@ def instrument(bus: EventBus, registry: MetricsRegistry | None = None) -> Metric
             registry.counter("retries_total").inc()
         elif event.kind is EventKind.EVICT:
             registry.counter("evictions_total").inc()
+        elif event.kind is EventKind.TIMEOUT:
+            registry.counter("timeouts_total").inc()
+        elif event.kind is EventKind.FAULT:
+            registry.counter("faults_injected_total").inc()
         elif event.kind is EventKind.SAMPLE:
             registry.gauge("queue_idle").set(float(event.detail.get("idle", 0)))  # type: ignore[arg-type]
             registry.gauge("slots_busy").set(float(event.detail.get("busy", 0)))  # type: ignore[arg-type]

@@ -28,6 +28,11 @@ class StatusView:
         self.failures = 0
         self.retries = 0
         self.evictions = 0
+        self.timeouts = 0
+        self.held = 0
+        self.faults_injected = 0
+        self.blacklisted = 0
+        self.rescue_rounds = 0
         self.last_time = 0.0
         self.workflow_done: bool | None = None  # success flag once ended
 
@@ -59,6 +64,20 @@ class StatusView:
                 self.evictions += 1
         elif kind is EventKind.RETRY:
             self.retries += 1
+        elif kind is EventKind.TIMEOUT:
+            self.timeouts += 1
+        elif kind is EventKind.HELD:
+            self.held += 1
+        elif kind is EventKind.FAULT:
+            self.faults_injected += 1
+        elif kind is EventKind.BLACKLIST:
+            self.blacklisted += 1
+        elif kind is EventKind.RESCUE:
+            self.rescue_rounds += 1
+            # A resubmit starts the next round: finished jobs stay DONE,
+            # but the headline flips back to RUNNING.
+            if event.detail.get("resubmitting"):
+                self.workflow_done = None
         elif kind is EventKind.WORKFLOW_END:
             self.workflow_done = bool(event.detail.get("success", False))
 
@@ -89,6 +108,19 @@ class StatusView:
             f"{self.failures} failed attempts, {self.evictions} evictions, "
             f"{self.retries} retries",
         ]
+        resilience_bits = []
+        if self.timeouts:
+            resilience_bits.append(f"timeouts={self.timeouts}")
+        if self.held:
+            resilience_bits.append(f"held={self.held}")
+        if self.faults_injected:
+            resilience_bits.append(f"faults={self.faults_injected}")
+        if self.blacklisted:
+            resilience_bits.append(f"blacklisted={self.blacklisted}")
+        if self.rescue_rounds:
+            resilience_bits.append(f"rescue_rounds={self.rescue_rounds}")
+        if resilience_bits:
+            lines.append("resilience: " + "  ".join(resilience_bits))
         counts = self.state_counts()
         if counts:
             lines.append(

@@ -1,0 +1,81 @@
+"""``repro.resilience`` — fault injection, retry policies, recovery.
+
+The paper's central result is a *failure* story: OSG loses to a much
+smaller campus cluster because of start failures, preemption, and the
+retries they force. This package makes that story a first-class,
+testable subsystem:
+
+* :mod:`repro.resilience.faults` — composable fault plans (start
+  failures, evictions, stragglers, hangs, site outages, bad nodes,
+  scripted per-attempt faults) injected into all three simulators and,
+  via payload wrappers, the real local backend — deterministic under
+  the named-RNG-stream contract;
+* :mod:`repro.resilience.retry` — pluggable
+  :class:`~repro.resilience.retry.RetryPolicy` objects for DAGMan
+  (immediate / fixed delay / exponential backoff with jitter), with
+  eviction-vs-failure accounting and a requeue budget;
+* :mod:`repro.resilience.blacklist` — the circuit breaker that stops
+  matching jobs onto machines (or whole sites) that keep failing them
+  on arrival;
+* :mod:`repro.resilience.recovery` —
+  :func:`~repro.resilience.recovery.run_with_recovery`, the automated
+  rescue-DAG resubmit loop.
+
+Everything emits typed events (``job.timeout``, ``job.held``,
+``fault.injected``, ``blacklist.add``, ``rescue.round``) on the
+:mod:`repro.observe` bus, so recovery is visible live in
+``repro-status`` and in ``events.jsonl``.
+"""
+
+from repro.resilience.blacklist import Blacklist, BlacklistPolicy
+from repro.resilience.faults import (
+    AttemptFault,
+    BadNode,
+    ChaosPayload,
+    Eviction,
+    FaultDecision,
+    FaultInjected,
+    FaultInjector,
+    FaultPlan,
+    Hang,
+    SiteOutage,
+    Slowdown,
+    StartFailure,
+    resolve_exec,
+)
+from repro.resilience.recovery import (
+    RecoveryResult,
+    RecoveryRound,
+    run_with_recovery,
+)
+from repro.resilience.retry import (
+    ExponentialBackoff,
+    FixedDelayRetry,
+    ImmediateRetry,
+    RetryPolicy,
+)
+
+__all__ = [
+    "Blacklist",
+    "BlacklistPolicy",
+    "AttemptFault",
+    "BadNode",
+    "ChaosPayload",
+    "Eviction",
+    "FaultDecision",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultPlan",
+    "Hang",
+    "SiteOutage",
+    "Slowdown",
+    "StartFailure",
+    "resolve_exec",
+    "RecoveryResult",
+    "RecoveryRound",
+    "run_with_recovery",
+    "ExponentialBackoff",
+    "FixedDelayRetry",
+    "ImmediateRetry",
+    "RetryPolicy",
+]

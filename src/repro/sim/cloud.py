@@ -27,15 +27,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.dagman.dag import DagJob
 from repro.dagman.events import JobAttempt, JobStatus
 from repro.observe.bus import EventBus
 from repro.observe.events import EventKind, RunEvent
+from repro.resilience.faults import resolve_exec
 from repro.sim.engine import Simulator
 from repro.sim.failures import NO_FAILURES, FailureModel
 from repro.sim.rng import RngStreams, bounded_lognormal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.faults import FaultDecision, FaultInjector
 
 __all__ = ["InstanceType", "CloudConfig", "CloudPlatform"]
 
@@ -106,10 +110,15 @@ class CloudPlatform:
         *,
         streams: RngStreams | None = None,
         bus: EventBus | None = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
+        """``injector`` layers a chaos
+        :class:`~repro.resilience.faults.FaultPlan` (spot storms, bad
+        AZs, stragglers) on top of the configured spot-reclaim model."""
         self.simulator = simulator
         self.config = config
         self.bus = bus
+        self.injector = injector
         streams = streams or RngStreams(seed=0)
         self._boot_rng = streams.stream(f"{config.name}.boot")
         self._failure_rng = streams.stream(f"{config.name}.failures")
@@ -121,6 +130,8 @@ class CloudPlatform:
         self._counter = 0
         self.peak_instances = 0
         self.reclaim_count = 0
+        self.start_failure_count = 0
+        self.timeout_count = 0
 
     # -- ExecutionEnvironment protocol ---------------------------------
 
@@ -140,6 +151,10 @@ class CloudPlatform:
 
     def run_until_complete(self) -> None:
         self.simulator.run()
+
+    def call_later(self, delay_s: float, fn: Callable[[], None]) -> None:
+        """Virtual-clock deferral (delayed retries park here)."""
+        self.simulator.schedule(delay_s, fn)
 
     # -- accounting -------------------------------------------------------
 
@@ -246,29 +261,57 @@ class CloudPlatform:
     ) -> None:
         instance.busy = True
         start = self.now
-        self._emit(EventKind.EXEC_START, job, attempt, instance)
-        duration = job.runtime / self.config.instance_type.speed
+        # Native spot-reclaim draw comes FIRST so the configured model
+        # consumes its RNG stream identically with or without an
+        # injector layered on top.
         reclaim_in = self.config.failures.sample_eviction_time(
             self._failure_rng
         )
-        if reclaim_in < duration:
+        decision: "FaultDecision | None" = None
+        if self.injector is not None:
+            decision = self.injector.decide(
+                job,
+                site=self.config.name,
+                machine=instance.name,
+                attempt=attempt,
+                now=self.now,
+            )
+        if decision is not None and decision.dead_on_arrival:
+            self.start_failure_count += 1
+            self._finish(
+                instance, job, on_complete, attempt, submit_time, start,
+                JobStatus.FAILED, decision.dead_on_arrival,
+                terminate=True,
+            )
+            return
+        self._emit(EventKind.EXEC_START, job, attempt, instance)
+        duration = job.runtime / self.config.instance_type.speed
+        if decision is not None:
+            duration *= decision.slowdown_factor
+            if decision.hang:
+                duration = math.inf
+            if decision.evict_after is not None:
+                reclaim_in = min(reclaim_in, decision.evict_after)
+        delay, status, error = resolve_exec(
+            duration, evict_after=reclaim_in, timeout_s=job.timeout_s
+        )
+        if math.isinf(delay):
+            # Hung payload, no timeout, no reclaim due: the attempt
+            # wedges and the instance bills forever — the scenario
+            # ``DagJob.timeout_s`` prevents.
+            return
+        if status is JobStatus.EVICTED:
             self.reclaim_count += 1
-            self.simulator.schedule(
-                reclaim_in,
-                lambda: self._finish(
-                    instance, job, on_complete, attempt, submit_time, start,
-                    JobStatus.EVICTED, "spot instance reclaimed",
-                    terminate=True,
-                ),
-            )
-        else:
-            self.simulator.schedule(
-                duration,
-                lambda: self._finish(
-                    instance, job, on_complete, attempt, submit_time, start,
-                    JobStatus.SUCCEEDED, None, terminate=False,
-                ),
-            )
+            error = "spot instance reclaimed"
+        elif status is JobStatus.TIMEOUT:
+            self.timeout_count += 1
+        self.simulator.schedule(
+            delay,
+            lambda: self._finish(
+                instance, job, on_complete, attempt, submit_time, start,
+                status, error, terminate=status is JobStatus.EVICTED,
+            ),
+        )
 
     def _finish(
         self,
@@ -302,6 +345,19 @@ class CloudPlatform:
         else:
             self._park(instance)
         if self.bus is not None:
+            if status is JobStatus.TIMEOUT:
+                self.bus.emit(
+                    RunEvent(
+                        EventKind.TIMEOUT,
+                        self.now,
+                        job_name=record.job_name,
+                        transformation=record.transformation,
+                        site=record.site,
+                        machine=record.machine,
+                        attempt=record.attempt,
+                        detail={"error": error} if error else {},
+                    )
+                )
             kind = (
                 EventKind.EVICT
                 if status is JobStatus.EVICTED

@@ -17,17 +17,23 @@ protocol, so DAGMan drives it exactly as it drives the real executor.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.dagman.dag import DagJob
 from repro.dagman.events import JobAttempt, JobStatus
 from repro.observe.bus import EventBus
 from repro.observe.events import EventKind, RunEvent
+from repro.resilience.faults import resolve_exec
 from repro.sim.engine import Simulator
 from repro.sim.machine import MachineSpec, make_machines
 from repro.sim.rng import RngStreams, bounded_lognormal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.blacklist import Blacklist
+    from repro.resilience.faults import FaultDecision, FaultInjector
 
 __all__ = ["CampusClusterConfig", "CampusCluster"]
 
@@ -76,10 +82,18 @@ class CampusCluster:
         *,
         streams: RngStreams | None = None,
         bus: EventBus | None = None,
+        injector: "FaultInjector | None" = None,
+        blacklist: "Blacklist | None" = None,
     ) -> None:
+        """The calibrated Sandhills model is failure-free; ``injector``
+        layers a chaos :class:`~repro.resilience.faults.FaultPlan` on
+        top of it and ``blacklist`` excludes tripped nodes from the
+        round-robin."""
         self.simulator = simulator
         self.config = config
         self.bus = bus
+        self.injector = injector
+        self.blacklist = blacklist
         streams = streams or RngStreams(seed=0)
         self._wait_rng = streams.stream(f"{config.name}.wait")
         machine_rng = streams.stream(f"{config.name}.machines")
@@ -98,7 +112,11 @@ class CampusCluster:
         ] = deque()
         self._busy = 0
         self._next_machine = 0
+        self._redispatch_pending = False
         self.peak_busy = 0
+        self.start_failure_count = 0
+        self.eviction_count = 0
+        self.timeout_count = 0
 
     # -- ExecutionEnvironment protocol ---------------------------------
 
@@ -118,6 +136,10 @@ class CampusCluster:
 
     def run_until_complete(self) -> None:
         self.simulator.run()
+
+    def call_later(self, delay_s: float, fn: Callable[[], None]) -> None:
+        """Virtual-clock deferral (delayed retries park here)."""
+        self.simulator.schedule(delay_s, fn)
 
     # -- internals ------------------------------------------------------
 
@@ -147,11 +169,15 @@ class CampusCluster:
 
     def _dispatch(self) -> None:
         while self._queue and self._busy < self.config.group_slots:
+            machine = self._pick_machine()
+            if machine is None:
+                # Every node is blacklisted: park the queue and wake up
+                # when the earliest block expires (if any will).
+                self._schedule_redispatch()
+                return
             job, on_complete, attempt, submit_time = self._queue.popleft()
             self._busy += 1
             self.peak_busy = max(self.peak_busy, self._busy)
-            machine = self._machines[self._next_machine % len(self._machines)]
-            self._next_machine += 1
             self._emit(EventKind.MATCH, job, attempt, machine)
             wait = self.config.dispatch_latency_s + bounded_lognormal(
                 self._wait_rng,
@@ -166,6 +192,33 @@ class CampusCluster:
                 ),
             )
 
+    def _pick_machine(self) -> MachineSpec | None:
+        """Next round-robin node that isn't blacklisted (None when all
+        are blocked)."""
+        for _ in range(len(self._machines)):
+            machine = self._machines[self._next_machine % len(self._machines)]
+            self._next_machine += 1
+            if self.blacklist is None or not self.blacklist.is_blocked(
+                machine.name, self.config.name, now=self.now
+            ):
+                return machine
+        return None
+
+    def _schedule_redispatch(self) -> None:
+        assert self.blacklist is not None
+        if self._redispatch_pending:
+            return
+        expiry = self.blacklist.next_expiry(now=self.now)
+        if expiry is None:
+            return
+        self._redispatch_pending = True
+
+        def fire() -> None:
+            self._redispatch_pending = False
+            self._dispatch()
+
+        self.simulator.schedule(expiry - self.now, fire)
+
     def _start(
         self,
         job: DagJob,
@@ -175,13 +228,51 @@ class CampusCluster:
         machine: MachineSpec,
     ) -> None:
         start = self.now
+        decision: "FaultDecision | None" = None
+        if self.injector is not None:
+            decision = self.injector.decide(
+                job,
+                site=self.config.name,
+                machine=machine.name,
+                attempt=attempt,
+                now=self.now,
+            )
+        if decision is not None and decision.dead_on_arrival:
+            self.start_failure_count += 1
+            if self.blacklist is not None:
+                self.blacklist.record_start_failure(
+                    machine.name, self.config.name, now=self.now
+                )
+            self._finish(
+                job, on_complete, attempt, submit_time, start, machine,
+                JobStatus.FAILED, decision.dead_on_arrival,
+            )
+            return
         duration = job.runtime / machine.speed
+        evict_after: float | None = None
+        if decision is not None:
+            duration *= decision.slowdown_factor
+            if decision.hang:
+                duration = math.inf
+            evict_after = decision.evict_after
+        delay, status, error = resolve_exec(
+            duration, evict_after=evict_after, timeout_s=job.timeout_s
+        )
         # Software is pre-installed: setup == start, no download/install.
         self._emit(EventKind.EXEC_START, job, attempt, machine)
+        if math.isinf(delay):
+            # Hung payload, no timeout: the attempt wedges and its slot
+            # stays busy — the scenario ``DagJob.timeout_s`` prevents.
+            return
+        if status is JobStatus.EVICTED:
+            self.eviction_count += 1
+        elif status is JobStatus.TIMEOUT:
+            self.timeout_count += 1
         self.simulator.schedule(
-            duration,
+            delay,
             lambda: self._finish(
-                job, on_complete, attempt, submit_time, start, machine
+                job, on_complete, attempt, submit_time, start, machine,
+                status, error,
             ),
         )
 
@@ -193,6 +284,8 @@ class CampusCluster:
         submit_time: float,
         start: float,
         machine: MachineSpec,
+        status: JobStatus = JobStatus.SUCCEEDED,
+        error: str | None = None,
     ) -> None:
         record = JobAttempt(
             job_name=job.name,
@@ -204,13 +297,34 @@ class CampusCluster:
             setup_start=start,
             exec_start=start,
             exec_end=self.now,
-            status=JobStatus.SUCCEEDED,
+            status=status,
+            error=error,
         )
         self._busy -= 1
+        if status is JobStatus.SUCCEEDED and self.blacklist is not None:
+            self.blacklist.record_success(machine.name, self.config.name)
         if self.bus is not None:
+            if status is JobStatus.TIMEOUT:
+                self.bus.emit(
+                    RunEvent(
+                        EventKind.TIMEOUT,
+                        self.now,
+                        job_name=job.name,
+                        transformation=job.transformation,
+                        site=self.config.name,
+                        machine=machine.name,
+                        attempt=attempt,
+                        detail={"error": error} if error else {},
+                    )
+                )
+            kind = (
+                EventKind.EVICT
+                if status is JobStatus.EVICTED
+                else EventKind.FINISH
+            )
             self.bus.emit(
                 RunEvent(
-                    EventKind.FINISH,
+                    kind,
                     self.now,
                     job_name=job.name,
                     transformation=job.transformation,

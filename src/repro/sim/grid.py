@@ -26,18 +26,24 @@ significantly better results").
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.dagman.condor import ClassAd, match
 from repro.dagman.dag import DagJob
 from repro.dagman.events import JobAttempt, JobStatus
 from repro.observe.bus import EventBus
 from repro.observe.events import EventKind, RunEvent
+from repro.resilience.faults import resolve_exec
 from repro.sim.engine import Simulator
 from repro.sim.failures import FailureModel
 from repro.sim.machine import MachineSpec, make_machines
 from repro.sim.rng import RngStreams, bounded_lognormal
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.blacklist import Blacklist
+    from repro.resilience.faults import FaultDecision, FaultInjector
 
 __all__ = ["GridSiteConfig", "GridConfig", "OpportunisticGrid"]
 
@@ -126,10 +132,20 @@ class OpportunisticGrid:
         *,
         streams: RngStreams | None = None,
         bus: EventBus | None = None,
+        injector: "FaultInjector | None" = None,
+        blacklist: "Blacklist | None" = None,
     ) -> None:
+        """``injector`` layers a :class:`~repro.resilience.faults.FaultPlan`
+        on top of the calibrated :class:`FailureModel` regime;
+        ``blacklist`` is the start-failure circuit breaker — blocked
+        machines are excluded from matchmaking until their cooldown
+        (if any) expires."""
         self.simulator = simulator
         self.config = config.with_sites()
         self.bus = bus
+        self.injector = injector
+        self.blacklist = blacklist
+        self._redispatch_pending = False
         streams = streams or RngStreams(seed=0)
         self._wait_rng = streams.stream(f"{self.config.name}.wait")
         self._setup_rng = streams.stream(f"{self.config.name}.setup")
@@ -167,6 +183,7 @@ class OpportunisticGrid:
         self.peak_busy = 0
         self.eviction_count = 0
         self.start_failure_count = 0
+        self.timeout_count = 0
 
     # -- ExecutionEnvironment protocol ---------------------------------
 
@@ -211,6 +228,10 @@ class OpportunisticGrid:
 
     def run_until_complete(self) -> None:
         self.simulator.run()
+
+    def call_later(self, delay_s: float, fn: Callable[[], None]) -> None:
+        """Virtual-clock deferral (delayed retries park here)."""
+        self.simulator.schedule(delay_s, fn)
 
     # -- internals ------------------------------------------------------
 
@@ -295,13 +316,23 @@ class OpportunisticGrid:
     def _dispatch(self) -> None:
         if not self._free:
             return
+        blocked: set[str] = set()
+        if self.blacklist is not None:
+            blocked = {
+                name
+                for name in self._free
+                if self.blacklist.is_blocked(
+                    name, self._by_name[name].site, now=self.now
+                )
+            }
         still_queued = []
         for entry in self._queue:
             job, on_complete, attempt, submit_time = entry
-            if not self._free:
+            candidates = [n for n in self._free if n not in blocked]
+            if not candidates:
                 still_queued.append(entry)
                 continue
-            free_ads = [self._ads[name] for name in self._free]
+            free_ads = [self._ads[name] for name in candidates]
             chosen = match(self._job_ad(job), free_ads)
             if chosen is None:
                 still_queued.append(entry)
@@ -317,6 +348,24 @@ class OpportunisticGrid:
                 ),
             )
         self._queue = still_queued
+        if blocked and self._queue and not self._redispatch_pending:
+            # Blocks excluded candidates; wake up when the earliest one
+            # expires so queued jobs are not stranded until the next
+            # completion happens to re-run matchmaking.
+            self._schedule_redispatch()
+
+    def _schedule_redispatch(self) -> None:
+        assert self.blacklist is not None
+        expiry = self.blacklist.next_expiry(now=self.now)
+        if expiry is None:
+            return
+        self._redispatch_pending = True
+
+        def fire() -> None:
+            self._redispatch_pending = False
+            self._dispatch()
+
+        self.simulator.schedule(expiry - self.now, fire)
 
     def _sample_wait(self) -> float:
         rng = self._wait_rng
@@ -343,9 +392,33 @@ class OpportunisticGrid:
         # utilization (the paper's "waiting time" is idle time).
         self._occupied += 1
         self.peak_busy = max(self.peak_busy, self._occupied)
-        if self.config.failures.sample_start_failure(self._failure_rng):
+        # Native regime draw comes FIRST so the calibrated baseline
+        # consumes its RNG stream identically with or without an
+        # injector layered on top.
+        native_doa = self.config.failures.sample_start_failure(
+            self._failure_rng
+        )
+        decision: "FaultDecision | None" = None
+        if self.injector is not None:
+            decision = self.injector.decide(
+                job,
+                site=machine.site,
+                machine=machine.name,
+                attempt=attempt,
+                now=self.now,
+            )
+        if native_doa or (decision is not None and decision.dead_on_arrival):
             self.start_failure_count += 1
+            if self.blacklist is not None:
+                self.blacklist.record_start_failure(
+                    machine.name, machine.site, now=self.now
+                )
             self._release(machine)
+            error = (
+                "node misconfiguration (dead on arrival)"
+                if native_doa
+                else decision.dead_on_arrival  # type: ignore[union-attr]
+            )
             record = JobAttempt(
                 job_name=job.name,
                 transformation=job.transformation,
@@ -357,7 +430,7 @@ class OpportunisticGrid:
                 exec_start=setup_start,
                 exec_end=setup_start,
                 status=JobStatus.FAILED,
-                error="node misconfiguration (dead on arrival)",
+                error=error,
             )
             self._emit_terminal(record)
             on_complete(record)
@@ -375,7 +448,8 @@ class OpportunisticGrid:
         self.simulator.schedule(
             setup,
             lambda: self._start_payload(
-                job, on_complete, attempt, submit_time, setup_start, machine
+                job, on_complete, attempt, submit_time, setup_start,
+                machine, decision,
             ),
         )
 
@@ -387,31 +461,39 @@ class OpportunisticGrid:
         submit_time: float,
         setup_start: float,
         machine: MachineSpec,
+        decision: "FaultDecision | None" = None,
     ) -> None:
         exec_start = self.now
         self._emit(EventKind.EXEC_START, job, attempt, machine)
         duration = job.runtime / machine.speed
+        if decision is not None:
+            duration *= decision.slowdown_factor
+            if decision.hang:
+                duration = math.inf
         eviction_in = self.config.failures.sample_eviction_time(
             self._failure_rng
         )
-        if eviction_in < duration:
+        if decision is not None and decision.evict_after is not None:
+            eviction_in = min(eviction_in, decision.evict_after)
+        delay, status, error = resolve_exec(
+            duration, evict_after=eviction_in, timeout_s=job.timeout_s
+        )
+        if math.isinf(delay):
+            # Hung payload, no timeout, no eviction due: the attempt
+            # wedges and its slot stays occupied — exactly the scenario
+            # ``DagJob.timeout_s`` exists to prevent.
+            return
+        if status is JobStatus.EVICTED:
             self.eviction_count += 1
-            self.simulator.schedule(
-                eviction_in,
-                lambda: self._finish(
-                    job, on_complete, attempt, submit_time, setup_start,
-                    exec_start, machine, JobStatus.EVICTED,
-                    "preempted by resource owner",
-                ),
-            )
-        else:
-            self.simulator.schedule(
-                duration,
-                lambda: self._finish(
-                    job, on_complete, attempt, submit_time, setup_start,
-                    exec_start, machine, JobStatus.SUCCEEDED, None,
-                ),
-            )
+        elif status is JobStatus.TIMEOUT:
+            self.timeout_count += 1
+        self.simulator.schedule(
+            delay,
+            lambda: self._finish(
+                job, on_complete, attempt, submit_time, setup_start,
+                exec_start, machine, status, error,
+            ),
+        )
 
     def _finish(
         self,
@@ -438,6 +520,21 @@ class OpportunisticGrid:
             status=status,
             error=error,
         )
+        if status is JobStatus.SUCCEEDED and self.blacklist is not None:
+            self.blacklist.record_success(machine.name, machine.site)
+        if status is JobStatus.TIMEOUT and self.bus is not None:
+            self.bus.emit(
+                RunEvent(
+                    EventKind.TIMEOUT,
+                    self.now,
+                    job_name=job.name,
+                    transformation=job.transformation,
+                    site=machine.site,
+                    machine=machine.name,
+                    attempt=attempt,
+                    detail={"error": error} if error else {},
+                )
+            )
         self._release(machine)
         self._emit_terminal(record)
         on_complete(record)

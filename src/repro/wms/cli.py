@@ -61,6 +61,9 @@ def main_plan(argv: list[str] | None = None) -> int:
     parser.add_argument("--site", choices=("sandhills", "osg", "cloud"),
                         default="sandhills")
     parser.add_argument("--retries", type=int, default=5)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job timeout in (platform) seconds; hung "
+                             "attempts are killed and retried")
     parser.add_argument("--cluster-size", type=int, default=1,
                         help="horizontal task clustering (Pegasus-style)")
     parser.add_argument("--cleanup", action="store_true",
@@ -86,6 +89,7 @@ def main_plan(argv: list[str] | None = None) -> int:
             replicas=replicas,
             options=PlannerOptions(
                 retries=args.retries,
+                timeout_s=args.timeout,
                 cluster_size=args.cluster_size,
                 add_cleanup=args.cleanup,
             ),
@@ -106,6 +110,7 @@ def main_plan(argv: list[str] | None = None) -> int:
                 "runtime": job.runtime,
                 "needs_setup": job.needs_setup,
                 "retries": job.retries,
+                "timeout_s": job.timeout_s,
             }
             for name, job in planned.dag.jobs.items()
         },
@@ -135,10 +140,36 @@ def main_run(argv: list[str] | None = None) -> int:
     parser.add_argument("--sample-interval", type=float, default=60.0,
                         help="utilization sampling cadence in simulated "
                              "seconds (0 disables sampling)")
+    parser.add_argument("--max-rescue-rounds", type=int, default=1,
+                        help="automatic rescue-DAG resubmits: run up to K "
+                             "rounds before giving up (1 = no resubmit)")
+    parser.add_argument("--retry-policy",
+                        choices=("immediate", "fixed", "backoff"),
+                        default="immediate",
+                        help="how DAGMan requeues failed jobs")
+    parser.add_argument("--retry-delay", type=float, default=30.0,
+                        help="delay (fixed) / base delay (backoff) for "
+                             "delayed retry policies, in seconds")
+    parser.add_argument("--free-evictions", action="store_true",
+                        help="platform evictions requeue without consuming "
+                             "a DAGMan RETRY")
+    parser.add_argument("--chaos-start-failure", type=float, default=0.0,
+                        help="inject extra dead-on-arrival probability")
+    parser.add_argument("--chaos-eviction-rate", type=float, default=0.0,
+                        help="inject extra evictions (rate per second)")
+    parser.add_argument("--chaos-outage", default=None,
+                        metavar="SITE,START,END",
+                        help="inject a site outage window (jobs arriving "
+                             "on SITE between START and END seconds fail)")
+    parser.add_argument("--blacklist-threshold", type=int, default=0,
+                        help="blacklist a machine after this many "
+                             "consecutive start failures (0 = off)")
+    parser.add_argument("--blacklist-cooldown", type=float, default=0.0,
+                        help="seconds before a blacklisted machine gets "
+                             "another chance (0 = permanent)")
     args = parser.parse_args(argv)
 
     from repro.dagman.dag import Dag, DagJob
-    from repro.dagman.scheduler import DagmanScheduler
     from repro.observe import (
         EventBus,
         EventKind,
@@ -147,6 +178,18 @@ def main_run(argv: list[str] | None = None) -> int:
         UtilizationSampler,
         instrument,
         write_chrome_trace,
+    )
+    from repro.resilience import (
+        Blacklist,
+        BlacklistPolicy,
+        Eviction,
+        ExponentialBackoff,
+        FaultInjector,
+        FaultPlan,
+        FixedDelayRetry,
+        SiteOutage,
+        StartFailure,
+        run_with_recovery,
     )
     from repro.sim.cloud import CloudPlatform
     from repro.sim.cluster import CampusCluster
@@ -167,6 +210,7 @@ def main_run(argv: list[str] | None = None) -> int:
                 runtime=spec["runtime"],
                 needs_setup=spec["needs_setup"],
                 retries=spec["retries"],
+                timeout_s=spec.get("timeout_s"),
             )
         )
     for parent, child in meta["edges"]:
@@ -177,30 +221,93 @@ def main_run(argv: list[str] | None = None) -> int:
     bus = EventBus()
     recorder = EventRecorder(bus)
     metrics = instrument(bus)
+
+    faults = []
+    if args.chaos_start_failure > 0:
+        faults.append(StartFailure(args.chaos_start_failure))
+    if args.chaos_eviction_rate > 0:
+        faults.append(Eviction(args.chaos_eviction_rate))
+    if args.chaos_outage:
+        try:
+            outage_site, start_s, end_s = args.chaos_outage.split(",")
+            faults.append(
+                SiteOutage(outage_site, float(start_s), float(end_s))
+            )
+        except ValueError:
+            print(f"bad --chaos-outage {args.chaos_outage!r} "
+                  "(want SITE,START,END)", file=sys.stderr)
+            return 2
+    injector = None
+    if faults:
+        injector = FaultInjector(
+            FaultPlan(tuple(faults)), rng=streams.stream("faults"), bus=bus
+        )
+    blacklist = None
+    if args.blacklist_threshold > 0:
+        blacklist = Blacklist(
+            BlacklistPolicy(
+                threshold=args.blacklist_threshold,
+                cooldown_s=args.blacklist_cooldown or None,
+            ),
+            bus=bus,
+        )
+    retry_policy = None
+    if args.retry_policy == "fixed":
+        retry_policy = FixedDelayRetry(
+            args.retry_delay, charge_evictions=not args.free_evictions
+        )
+    elif args.retry_policy == "backoff":
+        retry_policy = ExponentialBackoff(
+            base_s=args.retry_delay, seed=args.seed,
+            charge_evictions=not args.free_evictions,
+        )
+    elif args.free_evictions:
+        from repro.resilience import ImmediateRetry
+
+        retry_policy = ImmediateRetry(charge_evictions=False)
+
     env: CampusCluster | CloudPlatform | OpportunisticGrid
     if meta["site"] == "sandhills":
-        env = CampusCluster(simulator, streams=streams, bus=bus)
+        env = CampusCluster(simulator, streams=streams, bus=bus,
+                            injector=injector, blacklist=blacklist)
     elif meta["site"] == "cloud":
-        env = CloudPlatform(simulator, streams=streams, bus=bus)
+        env = CloudPlatform(simulator, streams=streams, bus=bus,
+                            injector=injector)
     else:
-        env = OpportunisticGrid(simulator, streams=streams, bus=bus)
+        env = OpportunisticGrid(simulator, streams=streams, bus=bus,
+                                injector=injector, blacklist=blacklist)
+
+    sampler = None
+
+    def on_round_start(scheduler, round_no) -> None:
+        nonlocal sampler
+        if args.sample_interval <= 0:
+            return
+        if sampler is None:
+            sampler = UtilizationSampler(
+                simulator, env, interval_s=args.sample_interval, bus=bus
+            )
+        # (Re)start each round: the sampler parks itself whenever the
+        # simulator drains between rounds.
+        sampler.start()
 
     # Truncate any previous event log, then stream this run into it.
     (submit / EVENTS_FILE).write_text("")
-    sampler = None
     with EventLogWriter(submit / EVENTS_FILE, bus):
-        scheduler = DagmanScheduler(dag, env, bus=bus)
-        scheduler.start()
-        if args.sample_interval > 0:
-            sampler = UtilizationSampler(
-                simulator, env, interval_s=args.sample_interval, bus=bus
-            ).start()
-        env.run_until_complete()
-        result = scheduler.finish()
+        outcome = run_with_recovery(
+            dag,
+            env,
+            max_rounds=args.max_rescue_rounds,
+            rescue_dir=submit,
+            bus=bus,
+            on_round_start=on_round_start,
+            retry_policy=retry_policy,
+        )
+    result = outcome.final
 
-    write_trace(submit / TRACE_FILE, result.trace)
+    write_trace(submit / TRACE_FILE, outcome.trace)
     write_chrome_trace(
-        submit / CHROME_TRACE_FILE, result.trace,
+        submit / CHROME_TRACE_FILE, outcome.trace,
         samples=sampler.samples if sampler is not None else None,
         workflow=dag.name,
     )
@@ -216,10 +323,22 @@ def main_run(argv: list[str] | None = None) -> int:
         submit / METRICS_FILE, json.dumps(metrics.snapshot(), indent=2)
     )
     print(
-        f"workflow {'succeeded' if result.success else 'FAILED'} in "
-        f"{result.trace.wall_time():.0f} simulated seconds "
-        f"({result.trace.retry_count} retries)"
+        f"workflow {'succeeded' if outcome.success else 'FAILED'} in "
+        f"{outcome.trace.wall_time():.0f} simulated seconds "
+        f"({outcome.trace.retry_count} retries, "
+        f"{len(outcome.rounds)} round(s))"
     )
+    if not outcome.success:
+        print(
+            f"unrecovered: {len(result.failed_jobs)} failed, "
+            f"{len(result.unrunnable_jobs)} unrunnable"
+            + (
+                f"; rescue files: "
+                + ", ".join(p.name for p in outcome.rescue_paths)
+                if outcome.rescue_paths
+                else ""
+            )
+        )
     terminal = sum(
         1 for e in recorder.events
         if e.kind in (EventKind.FINISH, EventKind.EVICT)
@@ -233,7 +352,7 @@ def main_run(argv: list[str] | None = None) -> int:
     if isinstance(env, CloudPlatform):
         print(f"cloud cost: ${env.billed_cost():.2f} "
               f"({env.instance_seconds():.0f} instance-seconds)")
-    return 0 if result.success else 1
+    return 0 if outcome.success else 1
 
 
 def _load_trace(submit_dir: str):

@@ -93,6 +93,10 @@ class PlannerOptions:
     """
 
     retries: int = 3
+    #: Kill a compute attempt after this many (platform) seconds — the
+    #: resilience layer's hung-job guard. Clustered super-jobs get the
+    #: sum over their members (they run sequentially). ``None`` = no cap.
+    timeout_s: float | None = None
     cluster_size: int = 1  # 1 = no horizontal clustering
     add_cleanup: bool = False
     setup_mode: Literal["auto", "never"] = "auto"
@@ -102,6 +106,8 @@ class PlannerOptions:
     def __post_init__(self) -> None:
         if self.retries < 0:
             raise ValueError("retries must be >= 0")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
         if self.cluster_size < 1:
             raise ValueError("cluster_size must be >= 1")
         if self.lint not in ("error", "warn", "off"):
@@ -195,6 +201,7 @@ def plan(
                 output_bytes=sum(f.size for f in job.outputs()),
                 needs_setup=needs_setup,
                 retries=options.retries,
+                timeout_s=options.timeout_s,
                 requirements=requirements,
                 payload=payload,
             )
@@ -400,6 +407,13 @@ def _horizontal_clustering(
             return results
 
         has_payloads = any(p is not None for p in payloads)
+        member_timeouts = [j.timeout_s for j in jobs]
+        # Members run sequentially inside the super-job, so their
+        # timeout budget adds up; one member without a cap means the
+        # cluster has none.
+        cluster_timeout: float | None = None
+        if all(t is not None for t in member_timeouts):
+            cluster_timeout = sum(t for t in member_timeouts if t is not None)
         new_dag.add_job(
             DagJob(
                 name=cname,
@@ -409,6 +423,7 @@ def _horizontal_clustering(
                 output_bytes=sum(j.output_bytes for j in jobs),
                 needs_setup=any(j.needs_setup for j in jobs),
                 retries=max(j.retries for j in jobs),
+                timeout_s=cluster_timeout,
                 requirements=jobs[0].requirements,
                 payload=run_all if has_payloads else None,
             )

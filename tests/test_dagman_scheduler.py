@@ -135,6 +135,29 @@ class TestThrottle:
         first_three = [name for name, _ in env.submitted]
         assert first_three == ["j1", "j2", "j0"]
 
+    def test_retried_job_queues_behind_waiting_peers(self):
+        # Regression: a retried job must re-enter the ready queue through
+        # the same priority sort as fresh nodes — FIFO by *readiness*
+        # within a priority class. With a max_jobs throttle, the retry
+        # goes behind equal-priority nodes that have been waiting since
+        # the workflow started, instead of starving them by resubmitting
+        # immediately.
+        dag = Dag()
+        for i in range(4):
+            dag.add_job(
+                DagJob(name=f"j{i}", transformation="t", runtime=1, retries=1)
+            )
+        env = ScriptedEnvironment(failures={("j0", 1): True})
+        result = DagmanScheduler(dag, env, max_jobs=1).run()
+        assert result.success
+        assert env.submitted == [
+            ("j0", 1),
+            ("j1", 1),
+            ("j2", 1),
+            ("j3", 1),
+            ("j0", 2),  # the retry waited its turn
+        ]
+
 
 class TestRetries:
     def test_retry_recovers_from_transient_failure(self):

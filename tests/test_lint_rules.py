@@ -203,10 +203,12 @@ def seed_plan001():
 
 
 def seed_plan002():
+    # timeout_s set so only the retry defect fires (not PLAN005 too).
     adag = fan_out()
     sites, tc, rc = full_catalogs()
     rc.add("raw.txt", "file:///raw.txt")
-    planned = _planned(adag, "osg", sites, tc, rc, retries=0)
+    planned = _planned(adag, "osg", sites, tc, rc, retries=0,
+                       timeout_s=3600.0)
     return adag, {
         "sites": sites, "transformations": tc, "replicas": rc,
         "site": "osg", "planned": planned,
@@ -238,6 +240,19 @@ def seed_plan004():
     }
 
 
+def seed_plan005():
+    # Default retries (> 0) keep PLAN002 quiet; no timeout on a
+    # preemptible site is the seeded defect.
+    adag = fan_out()
+    sites, tc, rc = full_catalogs()
+    rc.add("raw.txt", "file:///raw.txt")
+    planned = _planned(adag, "osg", sites, tc, rc)
+    return adag, {
+        "sites": sites, "transformations": tc, "replicas": rc,
+        "site": "osg", "planned": planned,
+    }
+
+
 SEEDS = {
     "DAX001": seed_dax001,
     "DAX002": seed_dax002,
@@ -255,6 +270,7 @@ SEEDS = {
     "PLAN002": seed_plan002,
     "PLAN003": seed_plan003,
     "PLAN004": seed_plan004,
+    "PLAN005": seed_plan005,
 }
 
 
