@@ -8,7 +8,6 @@ so that multi-hundred-MB files — the paper's ``transcripts.fasta`` is
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO
@@ -107,12 +106,10 @@ def write_fasta(
     and ``.gz`` paths are compressed.
     """
     if isinstance(dest, (str, Path)):
-        buf = io.StringIO()
-        count = write_fasta(buf, records)
-        from repro.util.iolib import write_text_auto
+        from repro.util.iolib import atomic_open
 
-        write_text_auto(dest, buf.getvalue())
-        return count
+        with atomic_open(dest) as handle:
+            return write_fasta(handle, records)
     count = 0
     for record in records:
         dest.write(record.format())

@@ -7,7 +7,6 @@ emits as FASTQ.
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO
@@ -135,12 +134,10 @@ def write_fastq(
     """Write records as FASTQ; returns the count. Path writes are atomic
     and ``.gz`` paths are compressed."""
     if isinstance(dest, (str, Path)):
-        buf = io.StringIO()
-        count = write_fastq(buf, records)
-        from repro.util.iolib import write_text_auto
+        from repro.util.iolib import atomic_open
 
-        write_text_auto(dest, buf.getvalue())
-        return count
+        with atomic_open(dest) as handle:
+            return write_fastq(handle, records)
     count = 0
     for record in records:
         dest.write(record.format())

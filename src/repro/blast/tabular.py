@@ -13,7 +13,6 @@ e-values in scientific notation).
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO
@@ -129,12 +128,10 @@ def write_tabular(
     """Write hits in tabular format; returns the count. Path writes are
     atomic and ``.gz`` paths are compressed."""
     if isinstance(dest, (str, Path)):
-        buf = io.StringIO()
-        count = write_tabular(buf, hits)
-        from repro.util.iolib import write_text_auto
+        from repro.util.iolib import atomic_open
 
-        write_text_auto(dest, buf.getvalue())
-        return count
+        with atomic_open(dest) as handle:
+            return write_tabular(handle, hits)
     count = 0
     for hit in hits:
         dest.write(hit.format() + "\n")

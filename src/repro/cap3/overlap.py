@@ -80,7 +80,12 @@ def candidate_pairs(
     for rid, seq in reads.items():
         index.add(rid, seq)
 
-    shared: dict[tuple[str, str], set[str]] = {}
+    # Count *distinct* shared words per pair with early acceptance: once
+    # a pair reaches ``min_shared_kmers`` its word set is dropped (the
+    # ``None`` sentinel), so memory per pending pair is bounded by the
+    # threshold instead of O(shared-word count) — which on large
+    # clusters of near-identical transcripts is almost every k-mer.
+    shared: dict[tuple[str, str], set[str] | None] = {}
     for rid, seq in reads.items():
         for variant in (seq, reverse_complement(seq)):
             variant = variant.upper()
@@ -91,10 +96,15 @@ def candidate_pairs(
                     pair = (
                         (rid, other) if order[rid] < order[other] else (other, rid)
                     )
-                    shared.setdefault(pair, set()).add(word)
+                    words = shared.setdefault(pair, set())
+                    if words is None:  # already accepted
+                        continue
+                    words.add(word)
+                    if len(words) >= min_shared_kmers:
+                        shared[pair] = None
 
     for pair, words in shared.items():
-        if len(words) >= min_shared_kmers:
+        if words is None:
             yield pair
 
 

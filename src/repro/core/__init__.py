@@ -11,11 +11,16 @@ The serial algorithm (faithful to Vince Buffalo's original script):
 The workflow decomposition (Figs. 2–3 of the paper) re-expresses steps
 3–5 as a DAG whose ``run_cap3`` tasks over *n* cluster partitions run in
 parallel; :mod:`repro.core.workflow_factory` builds those DAGs for the
-Sandhills and OSG variants.
+Sandhills and OSG variants. :mod:`repro.core.parallel` is the same
+parallelisation in-process (a process pool over LPT-packed cluster
+partitions), and :mod:`repro.core.cache` the content-addressed result
+store that lets n-sweeps and rescue rounds skip unchanged work.
 """
 
-from repro.core.clusters import ProteinCluster, cluster_transcripts
 from repro.core.blast2cap3 import Blast2Cap3Result, blast2cap3_serial
+from repro.core.cache import CacheStats, ResultCache
+from repro.core.clusters import ProteinCluster, cluster_transcripts
+from repro.core.parallel import blast2cap3_parallel
 from repro.core.partition import partition_clusters
 
 __all__ = [
@@ -23,5 +28,8 @@ __all__ = [
     "cluster_transcripts",
     "Blast2Cap3Result",
     "blast2cap3_serial",
+    "blast2cap3_parallel",
+    "CacheStats",
+    "ResultCache",
     "partition_clusters",
 ]

@@ -52,12 +52,13 @@ def best_hits(
 ) -> dict[str, TabularHit]:
     """Best (lowest e-value, then highest bit score) hit per transcript.
 
-    Hits above ``evalue_cutoff`` are ignored entirely, matching
-    blast2cap3's pre-filtering of the alignment file.
+    Only hits with ``evalue`` **strictly below** ``evalue_cutoff`` are
+    kept, matching the original blast2cap3 script's pre-filtering
+    (``evalue < cutoff``); a hit at exactly the cutoff is discarded.
     """
     best: dict[str, TabularHit] = {}
     for hit in hits:
-        if hit.evalue > evalue_cutoff:
+        if hit.evalue >= evalue_cutoff:
             continue
         current = best.get(hit.qseqid)
         if (

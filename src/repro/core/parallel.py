@@ -1,0 +1,205 @@
+"""The parallel blast2cap3 driver — the paper's contribution, in-process.
+
+The paper turns blast2cap3's serial per-cluster CAP3 loop (100 h) into
+a Pegasus DAG of ``n`` parallel ``run_cap3`` tasks (~3 h). This module
+is the same parallelisation without the workflow machinery: partition
+the clusters with the existing LPT packer, fan the per-group CAP3
+merges out over a :class:`~concurrent.futures.ProcessPoolExecutor`
+(threads or inline execution as fallbacks), then reassemble the
+outputs **in the serial driver's cluster order**, so the result is
+record-for-record identical to :func:`blast2cap3_serial` for every
+``jobs``/``n``/``strategy`` choice.
+
+A :class:`~repro.core.cache.ResultCache` slots underneath: per-cluster
+merges are looked up by content key before anything is dispatched, so
+a warm cache (an n-sweep re-plan, a rescue-resubmit round) performs
+zero CAP3 recomputations — only the lookups.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Iterable, Literal, Sequence
+
+from repro.bio.fasta import FastaRecord
+from repro.blast.tabular import TabularHit
+from repro.cap3.assembler import Cap3Params
+from repro.core.blast2cap3 import Blast2Cap3Result, merge_cluster
+from repro.core.cache import (
+    CLUSTER_MERGE_KIND,
+    ResultCache,
+    cluster_merge_key,
+    decode_cluster_merge,
+    encode_cluster_merge,
+)
+from repro.core.clusters import ProteinCluster, cluster_transcripts
+from repro.core.partition import Strategy, partition_clusters
+
+__all__ = ["blast2cap3_parallel", "ExecutorKind"]
+
+ExecutorKind = Literal["process", "thread", "serial"]
+
+#: One work unit shipped to a worker: the cluster's position in the
+#: serial iteration order, the cluster, and its member records.
+_WorkItem = tuple[int, ProteinCluster, list[FastaRecord]]
+#: What comes back: position, contigs, singlets, merged ids.
+_WorkResult = tuple[int, list[FastaRecord], list[FastaRecord], set[str]]
+
+
+def _merge_group(
+    group: list[_WorkItem], params: Cap3Params
+) -> list[_WorkResult]:
+    """Merge every cluster of one partition (runs inside a worker).
+
+    Module-level and built from picklable pieces only, so the process
+    pool can ship it; the thread pool and inline paths reuse it.
+    """
+    out: list[_WorkResult] = []
+    for idx, cluster, members in group:
+        by_id = {m.id: m for m in members}
+        contigs, singlets, merged = merge_cluster(cluster, by_id, params)
+        out.append((idx, contigs, singlets, merged))
+    return out
+
+
+def _default_jobs() -> int:
+    return max(1, os.cpu_count() or 2)
+
+
+def blast2cap3_parallel(
+    transcripts: Sequence[FastaRecord] | Iterable[FastaRecord],
+    hits: Iterable[TabularHit],
+    *,
+    jobs: int | None = None,
+    n: int | None = None,
+    strategy: Strategy = "balanced",
+    cap3_params: Cap3Params = Cap3Params(),
+    evalue_cutoff: float = 1e-5,
+    cache: ResultCache | None = None,
+    executor: ExecutorKind = "process",
+) -> Blast2Cap3Result:
+    """Protein-guided assembly with the per-cluster loop parallelised.
+
+    Parameters mirror the paper's experiment: ``n`` is the partition
+    count (their 10/100/300/500 sweep; defaults to ``jobs``), ``jobs``
+    the worker-slot count (defaults to the CPU count), ``strategy``
+    the cluster packer (``"balanced"`` LPT flattens the straggler
+    effect the paper observed with naive splitting). ``executor``
+    selects real processes (CPU-bound CAP3 work), threads
+    (deterministic under coverage/debug tooling), or inline execution.
+
+    Output is record-for-record identical to
+    :func:`~repro.core.blast2cap3.blast2cap3_serial` — same records,
+    same order, same accounting — because per-cluster results are
+    reassembled in the serial driver's iteration order regardless of
+    how partitions were packed or which worker finished first.
+
+    With ``cache`` given, per-cluster merges are served from the
+    content-addressed store when present and written back when not.
+    """
+    if jobs is None:
+        jobs = _default_jobs()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if n is None:
+        n = jobs
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+
+    transcript_list = list(transcripts)
+    by_id = {t.id: t for t in transcript_list}
+    if len(by_id) != len(transcript_list):
+        raise ValueError("duplicate transcript ids")
+
+    clusters, unaligned = cluster_transcripts(
+        hits,
+        evalue_cutoff=evalue_cutoff,
+        known_transcripts=[t.id for t in transcript_list],
+    )
+
+    result = Blast2Cap3Result(
+        input_count=len(transcript_list),
+        cluster_count=len(clusters),
+        mergeable_cluster_count=sum(1 for c in clusters if c.is_mergeable),
+    )
+
+    # -- cache pass: serve what we can, collect the rest ----------------
+    outcomes: dict[int, tuple[list[FastaRecord], list[FastaRecord], set[str]]] = {}
+    pending: list[tuple[int, ProteinCluster]] = []
+    for idx, cluster in enumerate(clusters):
+        if not cluster.is_mergeable:
+            continue
+        if cache is not None:
+            key = cluster_merge_key(cluster, by_id, cap3_params)
+            value = cache.get(CLUSTER_MERGE_KIND, key)
+            if value is not None:
+                outcome = decode_cluster_merge(value, by_id)
+                if outcome is not None:
+                    outcomes[idx] = outcome
+                    continue
+                cache.stats.corrupt += 1
+        pending.append((idx, cluster))
+
+    # -- partition pass: LPT-pack the remaining clusters into n groups --
+    if pending:
+        index_of = {cluster.protein_id: idx for idx, cluster in pending}
+        groups = partition_clusters(
+            [cluster for _, cluster in pending], n, strategy=strategy
+        )
+        work: list[list[_WorkItem]] = []
+        for group in groups:
+            if not group:
+                continue
+            work.append(
+                [
+                    (
+                        index_of[cluster.protein_id],
+                        cluster,
+                        [by_id[tid] for tid in cluster.transcript_ids],
+                    )
+                    for cluster in group
+                ]
+            )
+
+        # -- fan-out pass -----------------------------------------------
+        if jobs == 1 or executor == "serial" or len(work) <= 1:
+            batches = [_merge_group(group, cap3_params) for group in work]
+        else:
+            pool: Executor
+            if executor == "process":
+                pool = ProcessPoolExecutor(max_workers=min(jobs, len(work)))
+            elif executor == "thread":
+                pool = ThreadPoolExecutor(max_workers=min(jobs, len(work)))
+            else:
+                raise ValueError(f"unknown executor: {executor!r}")
+            with pool:
+                futures = [
+                    pool.submit(_merge_group, group, cap3_params)
+                    for group in work
+                ]
+                batches = [f.result() for f in futures]
+
+        cluster_at = dict(pending)
+        for batch in batches:
+            for idx, contigs, singlets, merged in batch:
+                outcomes[idx] = (contigs, singlets, merged)
+                if cache is not None:
+                    cache.put(
+                        CLUSTER_MERGE_KIND,
+                        cluster_merge_key(cluster_at[idx], by_id, cap3_params),
+                        encode_cluster_merge((contigs, singlets, merged)),
+                    )
+
+    # -- reassembly pass: exactly the serial driver's loop --------------
+    for idx, cluster in enumerate(clusters):
+        if not cluster.is_mergeable:
+            result.unjoined.extend(by_id[t] for t in cluster.transcript_ids)
+            continue
+        contigs, singlets, merged = outcomes[idx]
+        result.joined.extend(contigs)
+        result.unjoined.extend(singlets)
+        result.merged_transcript_count += len(merged)
+
+    result.unjoined.extend(by_id[t] for t in unaligned)
+    return result

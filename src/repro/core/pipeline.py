@@ -19,10 +19,12 @@ from typing import Iterable, Sequence
 from repro.bio.fasta import FastaRecord
 from repro.bio.fastq import FastqRecord
 from repro.bio.quality import QualityReport, TrimParams, quality_filter
-from repro.blast.blastx import BlastXParams, blastx_many
+from repro.blast.blastx import BlastXParams
 from repro.blast.database import ProteinDatabase
 from repro.cap3.assembler import Cap3Params, assemble
 from repro.core.blast2cap3 import Blast2Cap3Result, blast2cap3_serial
+from repro.core.cache import ResultCache, cached_blastx_hits
+from repro.core.parallel import ExecutorKind, blast2cap3_parallel
 
 __all__ = [
     "PipelineConfig",
@@ -53,13 +55,23 @@ def n50(lengths: Iterable[int]) -> int:
 
 @dataclass(frozen=True)
 class PipelineConfig:
-    """Per-stage knobs."""
+    """Per-stage knobs.
+
+    ``jobs`` > 1 switches the protein-guided merge to the parallel
+    driver (:func:`~repro.core.parallel.blast2cap3_parallel`);
+    ``cache`` threads a content-addressed result store under both the
+    BLASTX stage (hit batches) and the CAP3 merges, so a re-run over
+    unchanged inputs recomputes nothing.
+    """
 
     trim: TrimParams = TrimParams()
     assembly: Cap3Params = Cap3Params(min_overlap_length=30)
     merge: Cap3Params = Cap3Params()
     blast: BlastXParams = BlastXParams()
     protein_guided: bool = True
+    jobs: int = 1
+    executor: ExecutorKind = "process"
+    cache: ResultCache | None = None
 
 
 @dataclass(frozen=True)
@@ -150,8 +162,19 @@ def run_transcriptome_pipeline(
         # -- post-processing: protein-guided merging (blast2cap3) --------
         t0 = time.perf_counter()
         database = ProteinDatabase(records=list(protein_db))
-        hits = list(blastx_many(transcripts, database, config.blast))
-        b2c3_result = blast2cap3_serial(transcripts, hits)
+        hits = cached_blastx_hits(
+            config.cache, transcripts, database, config.blast
+        )
+        if config.jobs > 1 or config.cache is not None:
+            b2c3_result = blast2cap3_parallel(
+                transcripts,
+                hits,
+                jobs=config.jobs,
+                executor=config.executor,
+                cache=config.cache,
+            )
+        else:
+            b2c3_result = blast2cap3_serial(transcripts, hits)
         transcripts = b2c3_result.output_records
         stages.append(
             StageReport(

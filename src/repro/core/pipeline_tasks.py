@@ -97,9 +97,33 @@ def blast2cap3_merge(
     out_fasta: str | Path,
     *,
     cap3_params: Cap3Params = Cap3Params(),
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    executor: str = "process",
 ) -> int:
-    """Post-processing: protein-guided merging (serial blast2cap3)."""
+    """Post-processing: protein-guided merging (blast2cap3).
+
+    ``jobs`` > 1 fans the per-cluster CAP3 merges out over a process
+    pool (``executor="thread"`` for deterministic in-process testing);
+    ``cache_dir`` persists per-cluster results content-addressed, so a
+    rescue-resubmitted or re-planned task recomputes only what changed.
+    Output is identical for every ``jobs``/``cache_dir`` combination.
+    """
     transcripts = list(read_fasta(transcripts_fasta))
     hits = list(read_tabular(alignments_tabular))
-    result = blast2cap3_serial(transcripts, hits, cap3_params=cap3_params)
+    if jobs > 1 or cache_dir is not None:
+        from repro.core.cache import ResultCache
+        from repro.core.parallel import blast2cap3_parallel
+
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        result = blast2cap3_parallel(
+            transcripts,
+            hits,
+            jobs=jobs,
+            cap3_params=cap3_params,
+            cache=cache,
+            executor=executor,  # type: ignore[arg-type]
+        )
+    else:
+        result = blast2cap3_serial(transcripts, hits, cap3_params=cap3_params)
     return write_fasta(out_fasta, result.output_records)

@@ -25,7 +25,7 @@ from typing import Sequence
 from repro.bio.fasta import read_fasta, write_fasta
 from repro.blast.tabular import read_tabular, write_tabular
 from repro.cap3.assembler import Cap3Params
-from repro.core.blast2cap3 import merge_cluster
+from repro.core.cache import cached_merge_cluster
 from repro.core.clusters import cluster_transcripts
 from repro.core.partition import Strategy, partition_clusters
 from repro.util.iolib import atomic_write
@@ -108,6 +108,7 @@ def run_cap3(
     *,
     cap3_params: Cap3Params = Cap3Params(),
     evalue_cutoff: float = 1e-5,
+    cache_dir: str | Path | None = None,
 ) -> tuple[int, int]:
     """Merge every cluster in one partition with CAP3.
 
@@ -115,18 +116,29 @@ def run_cap3(
     transcripts absorbed into contigs (``merged_ids_out``), plus cluster
     singlets implicitly remain unmerged. Returns
     ``(contig_count, merged_id_count)``.
+
+    With ``cache_dir`` set, per-cluster merges go through the
+    content-addressed store (:mod:`repro.core.cache`): a retried or
+    rescue-resubmitted ``run_cap3`` task re-reads its own earlier
+    results instead of redoing the CAP3 work.
     """
     transcripts = {r.id: r for r in read_fasta(transcripts_dict)}
     hits = list(read_tabular(protein_part))
     clusters, _ = cluster_transcripts(hits, evalue_cutoff=evalue_cutoff)
+
+    cache = None
+    if cache_dir is not None:
+        from repro.core.cache import ResultCache
+
+        cache = ResultCache(cache_dir)
 
     contigs = []
     merged_ids: list[str] = []
     for cluster in clusters:
         if not cluster.is_mergeable:
             continue
-        cluster_contigs, _singlets, merged = merge_cluster(
-            cluster, transcripts, cap3_params
+        cluster_contigs, _singlets, merged = cached_merge_cluster(
+            cache, cluster, transcripts, cap3_params
         )
         contigs.extend(cluster_contigs)
         merged_ids.extend(sorted(merged))

@@ -212,6 +212,7 @@ def _local_payload_factories(
     alignments_path: Path,
     n: int,
     cap3_params: Cap3Params,
+    cache_dir: str | Path | None = None,
 ) -> dict[str, Callable[[Mapping[str, Any]], Callable[[], Any]]]:
     """Bind the task implementations to concrete paths.
 
@@ -225,13 +226,17 @@ def _local_payload_factories(
     joined_parts = [f"{w}/joined_{i}.fasta" for i in range(1, n + 1)]
     merged_parts = [f"{w}/merged_{i}.txt" for i in range(1, n + 1)]
 
+    cap3_kwargs: dict[str, Any] = {"cap3_params": cap3_params}
+    if cache_dir is not None:
+        cap3_kwargs["cache_dir"] = str(cache_dir)
+
     def cap3_call(args: Mapping[str, Any]) -> TaskCall:
         i = int(args["part_index"])
         return TaskCall(
             f"{tasks}:run_cap3",
             args=(tdict, parts[i - 1], joined_parts[i - 1],
                   merged_parts[i - 1]),
-            kwargs={"cap3_params": cap3_params},
+            kwargs=cap3_kwargs,
         )
 
     return {
@@ -315,13 +320,17 @@ def run_local(
     retries: int = 0,
     executor: str = "process",
     bus: "EventBus | None" = None,
+    cache_dir: str | Path | None = None,
 ) -> LocalRunResult:
     """Plan and actually execute blast2cap3 as a workflow, locally.
 
     This is the laptop-scale real run: BLAST tabular parsing, cluster
     partitioning, and CAP3 assembly all execute for real, under DAGMan.
     The default process pool gives true parallelism for the CPU-bound
-    ``run_cap3`` payloads.
+    ``run_cap3`` payloads. With ``cache_dir`` set, those payloads serve
+    per-cluster CAP3 merges from the content-addressed result store
+    (:mod:`repro.core.cache`), so retried jobs and re-planned n-sweeps
+    over the same inputs skip the recomputation.
     """
     from repro.execution.local import LocalEnvironment
 
@@ -329,7 +338,8 @@ def run_local(
     workdir.mkdir(parents=True, exist_ok=True)
     adag = build_blast2cap3_adag(n)
     factories = _local_payload_factories(
-        workdir, Path(transcripts_path), Path(alignments_path), n, cap3_params
+        workdir, Path(transcripts_path), Path(alignments_path), n,
+        cap3_params, cache_dir,
     )
     sites, transformations, replicas = default_catalogs(
         payload_factories=factories

@@ -32,6 +32,11 @@ kind                      meaning
 ``blacklist.add``         the circuit breaker blocked a machine or site
 ``rescue.round``          ``run_with_recovery()`` wrote a rescue DAG
                           and is resubmitting
+``cache.hit``             a content-addressed result was served from
+                          the :mod:`repro.core.cache` store
+                          (``detail`` has kind/key)
+``cache.miss``            a result was absent (or corrupt) in the store
+                          and is being recomputed
 ========================  ==============================================
 
 Terminal events (``job.finish`` / ``job.evict``) carry the full
@@ -69,6 +74,8 @@ class EventKind(Enum):
     FAULT = "fault.injected"
     BLACKLIST = "blacklist.add"
     RESCUE = "rescue.round"
+    CACHE_HIT = "cache.hit"
+    CACHE_MISS = "cache.miss"
 
 
 #: Kinds that end one attempt and carry its full :class:`JobAttempt`.

@@ -164,6 +164,8 @@ def instrument(bus: EventBus, registry: MetricsRegistry | None = None) -> Metric
     * ``events_total{kind=…}`` — counter per event kind;
     * ``retries_total`` / ``evictions_total`` / ``failures_total`` /
       ``timeouts_total`` / ``faults_injected_total``;
+    * ``cache_hits_total{kind=…}`` / ``cache_misses_total{kind=…}`` —
+      content-addressed result cache traffic;
     * ``jobs_in_flight`` — gauge (submits minus terminals);
     * ``queue_idle`` / ``slots_busy`` — gauges from utilization samples;
     * ``kickstart_s{transformation=…}``, ``waiting_s``,
@@ -183,6 +185,16 @@ def instrument(bus: EventBus, registry: MetricsRegistry | None = None) -> Metric
             registry.counter("timeouts_total").inc()
         elif event.kind is EventKind.FAULT:
             registry.counter("faults_injected_total").inc()
+        elif event.kind is EventKind.CACHE_HIT:
+            registry.counter(
+                "cache_hits_total",
+                {"kind": str(event.detail.get("kind", ""))},
+            ).inc()
+        elif event.kind is EventKind.CACHE_MISS:
+            registry.counter(
+                "cache_misses_total",
+                {"kind": str(event.detail.get("kind", ""))},
+            ).inc()
         elif event.kind is EventKind.SAMPLE:
             registry.gauge("queue_idle").set(float(event.detail.get("idle", 0)))  # type: ignore[arg-type]
             registry.gauge("slots_busy").set(float(event.detail.get("busy", 0)))  # type: ignore[arg-type]

@@ -2,8 +2,19 @@
 
 Workflow tools must never leave half-written catalogs, DAG files, or
 rescue files behind when interrupted — DAGMan in particular re-reads its
-own outputs on recovery. ``atomic_write`` gives all writers
-write-to-temp-then-rename semantics on the same filesystem.
+own outputs on recovery. Two write paths share the same
+write-to-temp-then-rename semantics on the same filesystem:
+
+* :func:`atomic_open` — a context manager yielding a **streaming** text
+  handle, for writers whose output is large (the paper's
+  ``alignments.out`` is 155 MB; buffering it in a ``StringIO`` first
+  would hold the whole file in memory);
+* :func:`atomic_write` — the convenience one-shot for small payloads
+  (catalogs, id lists, JSON blobs).
+
+Both fsync the temp file before the rename and the parent directory
+after it, so a crash immediately after ``os.replace`` cannot surface an
+empty or truncated file — the durability DAGMan recovery relies on.
 """
 
 from __future__ import annotations
@@ -13,10 +24,12 @@ import hashlib
 import io
 import os
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import TextIO
+from typing import Iterator, TextIO
 
 __all__ = [
+    "atomic_open",
     "atomic_write",
     "file_checksum",
     "sha256_text",
@@ -25,10 +38,75 @@ __all__ = [
 ]
 
 
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a crash."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextmanager
+def atomic_open(path: str | Path, *, encoding: str = "utf-8") -> Iterator[TextIO]:
+    """Open ``path`` for streaming text writes with atomic-replace semantics.
+
+    Yields a text handle backed by a temp file in ``path``'s directory;
+    on clean exit the data is flushed, fsynced, and renamed over
+    ``path`` (and the directory fsynced). On error the temp file is
+    removed and ``path`` is untouched. ``.gz`` paths are
+    gzip-compressed on the fly.
+
+    Parent directories are created as needed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=f".{path.name}.")
+    try:
+        raw = os.fdopen(fd, "wb")
+        handle: TextIO
+        if path.suffix == ".gz":
+            handle = io.TextIOWrapper(
+                gzip.GzipFile(fileobj=raw, mode="wb"), encoding=encoding
+            )
+        else:
+            handle = io.TextIOWrapper(raw, encoding=encoding)
+        try:
+            yield handle
+            handle.flush()
+            if path.suffix == ".gz":
+                # Finalize the gzip trailer before syncing the raw file.
+                handle.detach().close()  # type: ignore[union-attr]
+            raw.flush()
+            os.fsync(raw.fileno())
+        finally:
+            try:
+                handle.close()
+            except ValueError:  # detached wrapper above
+                pass
+            if not raw.closed:
+                raw.close()
+        os.replace(tmp_name, path)
+        _fsync_dir(path.parent)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
 def atomic_write(path: str | Path, data: str | bytes) -> Path:
-    """Write ``data`` to ``path`` atomically (temp file + rename).
+    """Write ``data`` to ``path`` atomically (temp file + fsync + rename).
 
     Parent directories are created as needed. Returns the final path.
+    The temp file is fsynced before the rename and the directory after,
+    so the replace is durable, not merely atomic.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -37,7 +115,10 @@ def atomic_write(path: str | Path, data: str | bytes) -> Path:
     try:
         with os.fdopen(fd, mode) as fh:
             fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp_name, path)
+        _fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -78,6 +159,6 @@ def open_text_auto(path: str | Path) -> TextIO:
 def write_text_auto(path: str | Path, data: str) -> Path:
     """Atomically write text, gzip-compressing when ``path`` ends ``.gz``."""
     path = Path(path)
-    if path.suffix == ".gz":
-        return atomic_write(path, gzip.compress(data.encode("utf-8")))
-    return atomic_write(path, data)
+    with atomic_open(path) as fh:
+        fh.write(data)
+    return path

@@ -45,6 +45,52 @@ class TestCandidatePairs:
         pairs = list(candidate_pairs(reads))
         assert pairs.count(("a", "b")) == 1
 
+    def test_matches_naive_distinct_count_reference(self, rng):
+        # Regression for the early-acceptance rewrite: the accepted
+        # pairs must equal a naive reference that materialises the full
+        # distinct shared-word set per pair and thresholds at the end.
+        from repro.bio.kmer import kmers
+
+        genome = random_dna(rng, 500)
+        reads = {}
+        for i in range(12):
+            start = rng.randrange(0, 320)
+            seq = genome[start : start + rng.randrange(60, 180)]
+            if rng.random() < 0.3:
+                seq = reverse_complement(seq)
+            reads[f"r{i}"] = seq
+
+        k, threshold = 12, 3
+
+        def words(seq):
+            return {w for _, w in kmers(seq.upper(), k)}
+
+        fwd = {rid: words(seq) for rid, seq in reads.items()}
+        both = {
+            rid: words(seq) | words(reverse_complement(seq))
+            for rid, seq in reads.items()
+        }
+        ids = list(reads)
+        expected = {
+            (a, b)
+            for i, a in enumerate(ids)
+            for b in ids[i + 1 :]
+            # A shared word is counted when either read's strand variant
+            # contains a word indexed from the other's forward strand.
+            if len((both[a] & fwd[b]) | (both[b] & fwd[a])) >= threshold
+        }
+
+        got = list(candidate_pairs(reads, k=k, min_shared_kmers=threshold))
+        assert len(got) == len(set(got))  # each pair at most once
+        assert set(got) == expected
+
+    def test_low_threshold_accepts_single_shared_word(self, rng):
+        genome = random_dna(rng, 100)
+        reads = {"a": genome[:40], "b": genome[28:60]}
+        assert ("a", "b") in list(
+            candidate_pairs(reads, k=12, min_shared_kmers=1)
+        )
+
 
 class TestStrandsAgree:
     def test_same_strand(self, rng):

@@ -36,6 +36,25 @@ class TestBestHits:
         hits = [hit("t1", "pA"), hit("t1", "pB")]
         assert best_hits(hits)["t1"].sseqid == "pA"
 
+    def test_hit_exactly_at_cutoff_discarded(self):
+        # The original blast2cap3 script pre-filters with a *strict*
+        # comparison (evalue < cutoff); a hit sitting exactly on the
+        # cutoff must not form a cluster.
+        assert best_hits([hit("t1", "pA", evalue=1e-5)], evalue_cutoff=1e-5) == {}
+
+    def test_hit_just_below_cutoff_kept(self):
+        chosen = best_hits(
+            [hit("t1", "pA", evalue=9.999e-6)], evalue_cutoff=1e-5
+        )
+        assert chosen["t1"].sseqid == "pA"
+
+    def test_boundary_strictness_partitions_at_and_below(self):
+        chosen = best_hits(
+            [hit("t1", "pA", evalue=1e-5), hit("t2", "pA", evalue=0.999e-5)],
+            evalue_cutoff=1e-5,
+        )
+        assert set(chosen) == {"t2"}
+
 
 class TestClusterTranscripts:
     def test_transcripts_sharing_protein_grouped(self):
