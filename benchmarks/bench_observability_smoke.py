@@ -18,7 +18,7 @@ the classic trace, and the live status view must agree with both.
 
 import json
 
-from conftest import RESULTS_DIR, write_result
+from conftest import RESULTS_DIR, update_bench_report, write_result
 
 from repro.core.workflow_factory import simulate_paper_run
 from repro.observe import (
@@ -33,6 +33,7 @@ from repro.observe import (
     write_chrome_trace,
     write_events,
 )
+from repro.observe.report import build_report
 from repro.wms.monitor import read_trace
 from repro.wms.statistics import render_report, summarize, summarize_events
 
@@ -61,6 +62,7 @@ def test_observability_smoke(paper_model, benchmark):
         f"sampling every {SAMPLE_INTERVAL_S:.0f}s",
         "",
     ]
+    bench_sections: dict[str, dict] = {}
     for platform in ("sandhills", "osg"):
         result, planned, recorder, metrics, view = _observed_run(
             platform, paper_model
@@ -137,6 +139,27 @@ def test_observability_smoke(paper_model, benchmark):
             )
         )
 
+        # -- makespan attribution: the buckets must tile the makespan --
+        attribution = build_report(
+            result.trace, dag=planned.dag,
+            label=f"smoke-{platform}-n{N}-seed{SEED}",
+        )
+        assert (
+            abs(
+                sum(attribution["attribution"].values())
+                - attribution["makespan_s"]
+            )
+            < 1e-6
+        ), "attribution buckets do not sum to the makespan"
+        report_path = RESULTS_DIR / f"observability_{platform}_report.json"
+        report_path.write_text(json.dumps(attribution, indent=2) + "\n")
+        bench_sections[platform] = {
+            "makespan_s": attribution["makespan_s"],
+            "attribution": attribution["attribution"],
+            "counts": attribution["counts"],
+            "kickstart": attribution["kickstart"],
+        }
+
         report_lines += [
             f"[{platform}] wall={result.trace.wall_time():,.0f}s "
             f"attempts={len(result.trace)} retries={result.trace.retry_count}",
@@ -153,6 +176,10 @@ def test_observability_smoke(paper_model, benchmark):
         report_lines.append("")
 
     write_result("observability_smoke", "\n".join(report_lines))
+    update_bench_report(
+        "observability_smoke",
+        {"n": N, "seed": SEED, "platforms": bench_sections},
+    )
 
     # benchmark: the instrumented run should not be meaningfully slower
     # than the bare one benchmarked in bench_fig4_walltime.

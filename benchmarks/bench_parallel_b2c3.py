@@ -21,7 +21,7 @@ Assertions (the PR's acceptance criteria, scaled to CI):
 import os
 import time
 
-from conftest import write_result
+from conftest import update_bench_report, write_result
 
 from repro.core.blast2cap3 import blast2cap3_serial
 from repro.core.cache import ResultCache
@@ -119,6 +119,23 @@ def test_parallel_and_cache_speedups(tmp_path, benchmark):
     for mode, n, j, wall, speedup, cache_col in rows:
         table.add_row(mode, n, j, f"{wall:.2f}", f"{speedup:.2f}x", cache_col)
     write_result("parallel_b2c3", table.render())
+    update_bench_report(
+        "parallel_b2c3",
+        {
+            "cpus": os.cpu_count(),
+            "jobs": jobs,
+            "transcripts": len(wl.transcripts),
+            "mergeable_clusters": serial.mergeable_cluster_count,
+            "serial_s": round(serial_s, 4),
+            "parallel_s": {
+                str(n): round(wall, 4)
+                for n, wall in zip(PARTITIONS, parallel_walls)
+            },
+            "cold_cache_s": round(cold_s, 4),
+            "warm_cache_s": round(warm_s, 4),
+            "warm_cache_speedup": round(serial_s / warm_s, 4),
+        },
+    )
 
     # Zero CAP3 recomputations on the warm store.
     assert warm_cache.stats.hits == serial.mergeable_cluster_count

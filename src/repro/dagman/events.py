@@ -22,9 +22,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Iterator
+from typing import Iterator, Mapping
 
-__all__ = ["JobStatus", "JobAttempt", "WorkflowTrace"]
+__all__ = ["JobStatus", "ResourceProfile", "JobAttempt", "WorkflowTrace"]
 
 
 class JobStatus(Enum):
@@ -38,6 +38,65 @@ class JobStatus(Enum):
     @property
     def is_success(self) -> bool:
         return self is JobStatus.SUCCEEDED
+
+
+@dataclass(frozen=True)
+class ResourceProfile:
+    """Per-invocation resource accounting — the kickstart record's
+    ``<usage>`` block.
+
+    Real runs measure these with :func:`resource.getrusage` deltas
+    around the payload (see :mod:`repro.observe.profile`); simulated
+    runs attach deterministic model-derived equivalents so the same
+    reports work over both. ``source`` says which it was.
+
+    Units follow ``getrusage``: CPU seconds, kilobytes for the RSS
+    high-water mark, block-I/O operation counts.
+    """
+
+    cpu_user_s: float = 0.0
+    cpu_sys_s: float = 0.0
+    max_rss_kb: int = 0
+    read_ops: int = 0
+    write_ops: int = 0
+    source: str = "measured"  # "measured" | "modelled"
+
+    def __post_init__(self) -> None:
+        if self.cpu_user_s < 0 or self.cpu_sys_s < 0:
+            raise ValueError("CPU times must be >= 0")
+        if self.max_rss_kb < 0 or self.read_ops < 0 or self.write_ops < 0:
+            raise ValueError("rss/io counters must be >= 0")
+
+    @property
+    def cpu_s(self) -> float:
+        """Total CPU time (user + system)."""
+        return self.cpu_user_s + self.cpu_sys_s
+
+    def cpu_utilization(self, wall_s: float) -> float:
+        """CPU seconds per wall second (0 when ``wall_s`` is 0)."""
+        return self.cpu_s / wall_s if wall_s > 0 else 0.0
+
+    def to_json(self) -> dict[str, object]:
+        """Flatten to JSON-able primitives (one log-line sub-object)."""
+        return {
+            "cpu_user_s": self.cpu_user_s,
+            "cpu_sys_s": self.cpu_sys_s,
+            "max_rss_kb": self.max_rss_kb,
+            "read_ops": self.read_ops,
+            "write_ops": self.write_ops,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "ResourceProfile":
+        return cls(
+            cpu_user_s=float(data.get("cpu_user_s", 0.0)),  # type: ignore[arg-type]
+            cpu_sys_s=float(data.get("cpu_sys_s", 0.0)),  # type: ignore[arg-type]
+            max_rss_kb=int(data.get("max_rss_kb", 0)),  # type: ignore[arg-type]
+            read_ops=int(data.get("read_ops", 0)),  # type: ignore[arg-type]
+            write_ops=int(data.get("write_ops", 0)),  # type: ignore[arg-type]
+            source=str(data.get("source", "measured")),
+        )
 
 
 @dataclass(frozen=True)
@@ -55,6 +114,9 @@ class JobAttempt:
     exec_end: float
     status: JobStatus
     error: str | None = None
+    #: Resource accounting for the payload window (None when the
+    #: attempt never reached execution, e.g. dead-on-arrival).
+    profile: ResourceProfile | None = None
 
     def __post_init__(self) -> None:
         if self.attempt < 1:
@@ -138,3 +200,18 @@ class WorkflowTrace:
         """Sum of successful payload durations (pegasus-statistics'
         "cumulative job wall time")."""
         return sum(a.kickstart_time for a in self.successful())
+
+    def profiled(self) -> list[JobAttempt]:
+        """Attempts that carry a :class:`ResourceProfile`."""
+        return [a for a in self.attempts if a.profile is not None]
+
+    def cumulative_cpu(self) -> float:
+        """Total CPU seconds across profiled attempts (user + system)."""
+        return sum(a.profile.cpu_s for a in self.profiled())  # type: ignore[union-attr]
+
+    def peak_rss_kb(self) -> int:
+        """Largest per-attempt RSS high-water mark (0 if unprofiled)."""
+        profiles = self.profiled()
+        if not profiles:
+            return 0
+        return max(a.profile.max_rss_kb for a in profiles)  # type: ignore[union-attr]

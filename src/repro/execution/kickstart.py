@@ -1,9 +1,12 @@
 """Kickstart: the per-invocation measurement wrapper.
 
 Pegasus launches every remote job under ``pegasus-kickstart``, which
-records the payload's actual duration and exit status — the paper's
-"Kickstart Time" statistic is named after it. :func:`kickstart` is our
-equivalent for Python payloads.
+records the payload's actual duration, exit status and resource usage —
+the paper's "Kickstart Time" statistic is named after it.
+:func:`kickstart` is our equivalent for Python payloads: alongside the
+timing it captures a :class:`~repro.dagman.events.ResourceProfile`
+(CPU split, RSS high-water mark, block-I/O counts) via
+:class:`repro.observe.profile.RusageProbe`.
 """
 
 from __future__ import annotations
@@ -12,6 +15,9 @@ import time
 import traceback
 from dataclasses import dataclass
 from typing import Any, Callable
+
+from repro.dagman.events import ResourceProfile
+from repro.observe.profile import RusageProbe
 
 __all__ = ["KickstartRecord", "kickstart"]
 
@@ -24,6 +30,9 @@ class KickstartRecord:
     success: bool
     result: Any = None
     error: str | None = None
+    #: Measured resource usage of the invocation (kickstart's
+    #: ``<usage>`` block); None only when capture was disabled.
+    profile: ResourceProfile | None = None
 
     def __post_init__(self) -> None:
         if self.duration_s < 0:
@@ -32,13 +41,18 @@ class KickstartRecord:
             raise ValueError("successful records carry no error")
 
 
-def kickstart(payload: Callable[[], Any]) -> KickstartRecord:
-    """Invoke ``payload``, timing it and capturing any exception.
+def kickstart(
+    payload: Callable[[], Any], *, profile: bool = True
+) -> KickstartRecord:
+    """Invoke ``payload``, timing and resource-profiling it.
 
     Exceptions never propagate: a failing payload yields a record with
     ``success=False`` and the traceback text, which DAGMan turns into a
-    failed attempt (and possibly a retry).
+    failed attempt (and possibly a retry). The usage profile is captured
+    either way — a payload that dies after ten minutes of CPU burn still
+    shows that burn in the report.
     """
+    probe = RusageProbe() if profile else None
     start = time.perf_counter()
     try:
         result = payload()
@@ -47,7 +61,11 @@ def kickstart(payload: Callable[[], Any]) -> KickstartRecord:
             duration_s=time.perf_counter() - start,
             success=False,
             error=traceback.format_exc(),
+            profile=probe.stop() if probe is not None else None,
         )
     return KickstartRecord(
-        duration_s=time.perf_counter() - start, success=True, result=result
+        duration_s=time.perf_counter() - start,
+        success=True,
+        result=result,
+        profile=probe.stop() if probe is not None else None,
     )

@@ -38,7 +38,7 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, Literal
 
 from repro.dagman.dag import DagJob
-from repro.dagman.events import JobAttempt, JobStatus
+from repro.dagman.events import JobAttempt, JobStatus, ResourceProfile
 from repro.execution.kickstart import KickstartRecord, kickstart
 from repro.observe.bus import EventBus
 from repro.observe.events import attempt_events
@@ -49,10 +49,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["LocalEnvironment"]
 
 
-def _run_payload(payload: Callable[[], Any]) -> tuple[float, bool, str | None]:
-    """Worker-side wrapper: returns (duration, success, error)."""
+def _run_payload(
+    payload: Callable[[], Any],
+) -> tuple[float, bool, str | None, "ResourceProfile | None"]:
+    """Worker-side wrapper: returns (duration, success, error, profile).
+
+    Runs in the pool worker (its own process under ``executor=
+    "process"``), so the rusage probe inside :func:`kickstart` bills
+    exactly this payload's CPU/RSS/I/O to the attempt record.
+    """
     record: KickstartRecord = kickstart(payload)
-    return record.duration_s, record.success, record.error
+    return record.duration_s, record.success, record.error, record.profile
 
 
 class LocalEnvironment:
@@ -161,7 +168,8 @@ class LocalEnvironment:
             self._actions.put(thunk)
 
         def record_completion(duration: float, success: bool,
-                              error: str | None) -> None:
+                              error: str | None,
+                              profile: "ResourceProfile | None") -> None:
             end = self.now
             start = max(submit_time, end - duration)
             deliver(
@@ -179,6 +187,7 @@ class LocalEnvironment:
                         JobStatus.SUCCEEDED if success else JobStatus.FAILED
                     ),
                     error=error,
+                    profile=profile,
                 )
             )
 
@@ -226,11 +235,13 @@ class LocalEnvironment:
             if not settle():
                 return  # the watchdog already delivered a TIMEOUT record
             try:
-                duration, success, error = fut.result()
+                duration, success, error, profile = fut.result()
             except Exception as exc:  # unpicklable payload, pool death …
-                record_completion(0.0, False, f"{type(exc).__name__}: {exc}")
+                record_completion(
+                    0.0, False, f"{type(exc).__name__}: {exc}", None
+                )
             else:
-                record_completion(duration, success, error)
+                record_completion(duration, success, error, profile)
 
         future.add_done_callback(on_done)
 

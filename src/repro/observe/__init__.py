@@ -10,7 +10,11 @@ those numbers and the live view both come from:
 * :mod:`repro.observe.sampler` — periodic utilization time series;
 * :mod:`repro.observe.log` — JSONL event log (monitord's jobstate.log);
 * :mod:`repro.observe.chrome_trace` — Perfetto-loadable trace export;
-* :mod:`repro.observe.status` — ``pegasus-status`` style live render.
+* :mod:`repro.observe.status` — ``pegasus-status`` style live render;
+* :mod:`repro.observe.profile` — kickstart resource profiling (rusage
+  capture for real runs, calibrated models for simulated ones);
+* :mod:`repro.observe.analysis` — critical-path makespan attribution;
+* :mod:`repro.observe.report` — ``repro-report`` analyze/compare CLI.
 
 One run, fully observed::
 
@@ -23,6 +27,11 @@ One run, fully observed::
     write_chrome_trace("trace.json", result.trace)
 """
 
+from repro.observe.analysis import (
+    MakespanAttribution,
+    aggregate_components,
+    attribute_makespan,
+)
 from repro.observe.bus import (
     EventBus,
     EventRecorder,
@@ -48,11 +57,16 @@ from repro.observe.metrics import (
     Histogram,
     MetricsRegistry,
     instrument,
+    merge_summaries,
 )
+from repro.observe.profile import RusageProbe, modelled_profile
 from repro.observe.sampler import UtilizationSample, UtilizationSampler
 from repro.observe.status import StatusView, render_status
 
 __all__ = [
+    "MakespanAttribution",
+    "aggregate_components",
+    "attribute_makespan",
     "EventBus",
     "EventRecorder",
     "TraceCollector",
@@ -72,8 +86,27 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "instrument",
+    "merge_summaries",
+    "RusageProbe",
+    "modelled_profile",
+    "build_report",
+    "compare_reports",
+    "load_report",
     "UtilizationSample",
     "UtilizationSampler",
     "StatusView",
     "render_status",
 ]
+
+_REPORT_EXPORTS = ("build_report", "compare_reports", "load_report")
+
+
+def __getattr__(name: str):
+    # Lazy: repro.observe.report is also a __main__ entry point
+    # (``python -m repro.observe.report``); importing it eagerly here
+    # would make runpy warn about the double import.
+    if name in _REPORT_EXPORTS:
+        from repro.observe import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -18,7 +18,7 @@ import json
 from pathlib import Path
 from typing import IO, Iterable, Iterator
 
-from repro.dagman.events import JobAttempt, JobStatus
+from repro.dagman.events import JobAttempt, JobStatus, ResourceProfile
 from repro.observe.bus import EventBus
 from repro.observe.events import EventKind, RunEvent
 
@@ -51,6 +51,8 @@ def event_to_json(event: RunEvent) -> dict:
         out["status"] = event.record.status.value
         if event.record.error:
             out["error"] = event.record.error
+        if event.record.profile is not None:
+            out["profile"] = event.record.profile.to_json()
     if event.detail:
         for key, value in event.detail.items():
             out.setdefault(key, value)
@@ -58,9 +60,15 @@ def event_to_json(event: RunEvent) -> dict:
 
 
 def _record_from(data: dict) -> JobAttempt:
+    profile = data.get("profile")
     return JobAttempt(
         status=JobStatus(data["status"]),
         error=data.get("error"),
+        profile=(
+            ResourceProfile.from_json(profile)
+            if isinstance(profile, dict)
+            else None
+        ),
         **{name: data[name] for name in ATTEMPT_FIELDS},
     )
 
@@ -74,7 +82,7 @@ def event_from_json(data: dict) -> RunEvent:
     """
     known = {
         "event", "t", "job_name", "transformation", "site", "machine",
-        "attempt", "status", "error", *ATTEMPT_FIELDS,
+        "attempt", "status", "error", "profile", *ATTEMPT_FIELDS,
     }
     detail = {k: v for k, v in data.items() if k not in known}
     if "event" not in data:  # legacy monitor.py line

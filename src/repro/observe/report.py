@@ -1,0 +1,594 @@
+"""``repro-report``: deep performance attribution and run comparison.
+
+Two subcommands over run artifacts (a submit directory, a bare
+``events.jsonl``/``trace.jsonl`` log, or a previously saved report):
+
+* ``repro-report analyze RUN`` — build the makespan-attribution report
+  (:mod:`repro.observe.analysis` buckets + what-if estimates, kickstart
+  percentiles, per-transformation/site tables, resource-profile
+  roll-up) and render it as Markdown and/or JSON;
+* ``repro-report compare BASE NEW`` — align two runs and report deltas
+  (makespan, attribution buckets, kickstart percentiles, retry counts)
+  with configurable ``--fail-on`` regression thresholds, so CI can gate
+  a PR on "makespan must not regress more than 20 %".
+
+Threshold specs are ``metric=limit`` where ``limit`` is either a
+percentage (``makespan=5%`` — fail when NEW exceeds BASE by more than
+5 %) or an absolute amount (``retries=3`` — fail when NEW exceeds BASE
+by more than 3). All gated metrics are "higher is worse".
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Mapping
+
+from repro.dagman.events import JobStatus, WorkflowTrace
+from repro.observe.analysis import (
+    BUCKETS,
+    aggregate_components,
+    attribute_makespan,
+)
+from repro.observe.metrics import Histogram
+from repro.util.units import format_duration
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "COMPARE_SCHEMA",
+    "build_report",
+    "load_report",
+    "dag_from_plan_meta",
+    "render_markdown",
+    "compare_reports",
+    "render_compare_markdown",
+    "parse_fail_on",
+    "check_thresholds",
+    "main",
+]
+
+REPORT_SCHEMA = "repro-report/1"
+COMPARE_SCHEMA = "repro-report-compare/1"
+
+
+# --------------------------------------------------------------------------
+# loading
+
+
+def dag_from_plan_meta(meta: dict):
+    """Rebuild an executable :class:`~repro.dagman.dag.Dag` from the
+    ``plan.json`` a submit directory carries (same schema ``repro-plan``
+    writes and ``repro-run`` reads)."""
+    from repro.dagman.dag import Dag, DagJob
+
+    dag = Dag(name=f"blast2cap3-n{meta.get('n')}-{meta.get('site')}")
+    for name, spec in meta["jobs"].items():
+        dag.add_job(
+            DagJob(
+                name=name,
+                transformation=spec["transformation"],
+                runtime=spec["runtime"],
+                needs_setup=spec["needs_setup"],
+                retries=spec["retries"],
+                timeout_s=spec.get("timeout_s"),
+            )
+        )
+    for parent, child in meta["edges"]:
+        dag.add_edge(parent, child)
+    return dag
+
+
+def _load_trace_and_dag(path: Path):
+    """(trace, dag, metrics, label) from a run directory or log file."""
+    from repro.wms.monitor import read_trace
+
+    dag = None
+    metrics = None
+    if path.is_dir():
+        events = path / "events.jsonl"
+        trace_log = path / "trace.jsonl"
+        source = events if events.exists() else trace_log
+        if not source.exists():
+            raise FileNotFoundError(
+                f"no events.jsonl or trace.jsonl under {path}"
+            )
+        trace = read_trace(source)
+        plan = path / "plan.json"
+        if plan.exists():
+            dag = dag_from_plan_meta(json.loads(plan.read_text()))
+        metrics_path = path / "metrics.json"
+        if metrics_path.exists():
+            metrics = json.loads(metrics_path.read_text())
+        return trace, dag, metrics, path.name or str(path)
+    # A bare JSONL log (classic trace or observe event log).
+    trace = read_trace(path)
+    return trace, None, None, path.stem
+
+
+def load_report(path: str | Path, *, label: str | None = None) -> dict:
+    """Load ``path`` into a report dict, whatever it is.
+
+    * a directory — a submit/run directory (``events.jsonl`` or
+      ``trace.jsonl``, plus ``plan.json``/``metrics.json`` when
+      present);
+    * a ``*.jsonl`` file — an event or attempt log;
+    * a ``*.json`` file — a report previously saved by ``analyze``
+      (checked via its ``schema`` field), e.g. a committed baseline.
+    """
+    path = Path(path)
+    if path.is_file() and path.suffix == ".json":
+        data = json.loads(path.read_text())
+        if data.get("schema") != REPORT_SCHEMA:
+            raise ValueError(
+                f"{path} is not a {REPORT_SCHEMA} report "
+                f"(schema={data.get('schema')!r})"
+            )
+        if label:
+            data["label"] = label
+        return data
+    trace, dag, metrics, inferred = _load_trace_and_dag(path)
+    return build_report(
+        trace, dag=dag, metrics=metrics, label=label or inferred
+    )
+
+
+# --------------------------------------------------------------------------
+# report building
+
+
+def _distribution(values: list[float]) -> dict[str, float]:
+    hist = Histogram()
+    for v in values:
+        hist.observe(v)
+    return hist.summary()
+
+
+def _profile_rollup(trace: WorkflowTrace) -> dict | None:
+    profiled = trace.profiled()
+    if not profiled:
+        return None
+    wall = sum(a.kickstart_time for a in profiled)
+    cpu_user = sum(a.profile.cpu_user_s for a in profiled)  # type: ignore[union-attr]
+    cpu_sys = sum(a.profile.cpu_sys_s for a in profiled)  # type: ignore[union-attr]
+    sources: dict[str, int] = {}
+    for a in profiled:
+        sources[a.profile.source] = sources.get(a.profile.source, 0) + 1  # type: ignore[union-attr]
+    return {
+        "attempts_profiled": len(profiled),
+        "cpu_user_s": round(cpu_user, 6),
+        "cpu_sys_s": round(cpu_sys, 6),
+        "cpu_utilization": (
+            round((cpu_user + cpu_sys) / wall, 4) if wall > 0 else 0.0
+        ),
+        "peak_rss_kb": trace.peak_rss_kb(),
+        "read_ops": sum(a.profile.read_ops for a in profiled),  # type: ignore[union-attr]
+        "write_ops": sum(a.profile.write_ops for a in profiled),  # type: ignore[union-attr]
+        "sources": sources,
+    }
+
+
+def build_report(
+    trace: WorkflowTrace,
+    *,
+    dag=None,
+    metrics: Mapping[str, object] | None = None,
+    label: str = "run",
+) -> dict:
+    """One run's full attribution report as JSON-able primitives."""
+    at = attribute_makespan(trace, dag)
+    successes = trace.successful()
+
+    per_transformation: dict[str, dict[str, float]] = {}
+    groups: dict[str, list] = {}
+    for a in successes:
+        groups.setdefault(a.transformation, []).append(a)
+    for name in sorted(groups):
+        attempts = groups[name]
+        per_transformation[name] = {
+            "count": len(attempts),
+            "kickstart_mean": sum(a.kickstart_time for a in attempts) / len(attempts),
+            "kickstart_max": max(a.kickstart_time for a in attempts),
+            "waiting_mean": sum(a.waiting_time for a in attempts) / len(attempts),
+            "setup_mean": sum(a.download_install_time for a in attempts) / len(attempts),
+        }
+
+    per_site: dict[str, dict[str, float]] = {}
+    for a in trace:
+        row = per_site.setdefault(
+            a.site, {"attempts": 0, "failures": 0, "kickstart_total": 0.0}
+        )
+        row["attempts"] += 1
+        if not a.status.is_success:
+            row["failures"] += 1
+        else:
+            row["kickstart_total"] += a.kickstart_time
+
+    # Group the path tiling per job for the report's path table.
+    path_rows: dict[str, dict] = {}
+    for seg in at.segments:
+        if seg.job_name is None:
+            continue
+        row = path_rows.setdefault(seg.job_name, {
+            "job": seg.job_name,
+            "transformation": seg.transformation,
+            "site": seg.site,
+            "attempt": seg.attempt,
+            **{b: 0.0 for b in BUCKETS},
+        })
+        row[seg.bucket] += seg.duration
+
+    report = {
+        "schema": REPORT_SCHEMA,
+        "label": label,
+        "workflow": getattr(dag, "name", None),
+        "method": at.method,
+        "makespan_s": at.makespan_s,
+        "attribution": {b: at.buckets[b] for b in BUCKETS},
+        "attribution_share": {b: at.share(b) for b in BUCKETS},
+        "what_if": at.what_if(),
+        "bottlenecks": [list(item) for item in at.ranked()],
+        "critical_path": [
+            path_rows[name] for name in at.path_jobs if name in path_rows
+        ],
+        "cumulative": aggregate_components(trace),
+        "counts": {
+            "attempts": len(trace),
+            "jobs_succeeded": len(successes),
+            "failures": len(trace.failures()),
+            "retries": trace.retry_count,
+            "evictions": sum(
+                1 for a in trace if a.status is JobStatus.EVICTED
+            ),
+            "timeouts": sum(
+                1 for a in trace if a.status is JobStatus.TIMEOUT
+            ),
+        },
+        "kickstart": _distribution([a.kickstart_time for a in successes]),
+        "waiting": _distribution([a.waiting_time for a in successes]),
+        "setup": _distribution(
+            [
+                a.download_install_time
+                for a in successes
+                if a.download_install_time > 0
+            ]
+        ),
+        "profile": _profile_rollup(trace),
+        "per_transformation": per_transformation,
+        "per_site": per_site,
+    }
+    if metrics is not None:
+        report["metrics"] = metrics
+    return report
+
+
+# --------------------------------------------------------------------------
+# markdown rendering
+
+
+def _fmt_s(value: float) -> str:
+    return f"{value:,.1f}"
+
+
+def render_markdown(report: dict) -> str:
+    """The human half of the report (the JSON is the machine half)."""
+    makespan = float(report["makespan_s"])
+    attribution = report["attribution"]
+    share = report["attribution_share"]
+    what_if = report["what_if"]
+    lines = [
+        f"# Makespan attribution — {report['label']}",
+        "",
+        f"Makespan **{format_duration(makespan)}** ({makespan:,.0f} s), "
+        f"decomposed along the realized critical path "
+        f"(method: `{report['method']}`).",
+        "",
+        "| bucket | seconds | share | makespan if free |",
+        "|---|---:|---:|---:|",
+    ]
+    for bucket, seconds in report["bottlenecks"]:
+        lines.append(
+            f"| {bucket} | {_fmt_s(float(seconds))} "
+            f"| {100 * float(share[bucket]):.1f}% "
+            f"| {_fmt_s(float(what_if[bucket]))} |"
+        )
+    check = sum(float(attribution[b]) for b in attribution)
+    lines += [
+        "",
+        f"_Buckets sum to {check:,.1f} s = makespan (exact tiling)._",
+        "",
+        "## Critical path",
+        "",
+        "| job | transformation | site | attempt "
+        "| retry_lost | waiting | setup | exec |",
+        "|---|---|---|---:|---:|---:|---:|---:|",
+    ]
+    for row in report["critical_path"]:
+        lines.append(
+            f"| {row['job']} | {row['transformation']} | {row['site']} "
+            f"| {row['attempt']} | {_fmt_s(row['retry_lost'])} "
+            f"| {_fmt_s(row['waiting'])} | {_fmt_s(row['setup'])} "
+            f"| {_fmt_s(row['exec'])} |"
+        )
+    cumulative = report["cumulative"]
+    counts = report["counts"]
+    kick = report["kickstart"]
+    lines += [
+        "",
+        "## Cumulative components (all attempts, machine-time view)",
+        "",
+        "| waiting | download/install | exec | retry-lost |",
+        "|---:|---:|---:|---:|",
+        "| " + " | ".join(
+            _fmt_s(float(cumulative[k]))
+            for k in ("waiting", "setup", "exec", "retry_lost")
+        ) + " |",
+        "",
+        "## Kickstart distribution (successful attempts)",
+        "",
+        "| count | mean | p50 | p95 | p99 | max |",
+        "|---:|---:|---:|---:|---:|---:|",
+        f"| {int(kick['count'])} | {_fmt_s(kick['mean'])} "
+        f"| {_fmt_s(kick['p50'])} | {_fmt_s(kick['p95'])} "
+        f"| {_fmt_s(kick['p99'])} | {_fmt_s(kick['max'])} |",
+        "",
+        f"Attempts {counts['attempts']}, succeeded "
+        f"{counts['jobs_succeeded']}, failures {counts['failures']}, "
+        f"retries {counts['retries']}, evictions {counts['evictions']}, "
+        f"timeouts {counts['timeouts']}.",
+    ]
+    profile = report.get("profile")
+    if profile:
+        lines += [
+            "",
+            "## Resource usage (kickstart profiles)",
+            "",
+            f"{profile['attempts_profiled']} profiled attempts: "
+            f"CPU {profile['cpu_user_s']:,.1f}s user + "
+            f"{profile['cpu_sys_s']:,.1f}s system "
+            f"({100 * profile['cpu_utilization']:.0f}% of exec wall), "
+            f"peak RSS {profile['peak_rss_kb'] / 1024:,.0f} MB, "
+            f"I/O {profile['read_ops']:,} reads / "
+            f"{profile['write_ops']:,} writes "
+            f"(sources: {profile['sources']}).",
+        ]
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# comparison
+
+#: Metric name -> extractor over a report dict. All "higher is worse".
+_METRIC_PATHS: dict[str, tuple[str, ...]] = {
+    "makespan": ("makespan_s",),
+    **{bucket: ("attribution", bucket) for bucket in BUCKETS},
+    "cumulative_exec": ("cumulative", "exec"),
+    "cumulative_waiting": ("cumulative", "waiting"),
+    "cumulative_setup": ("cumulative", "setup"),
+    "cumulative_retry_lost": ("cumulative", "retry_lost"),
+    "failures": ("counts", "failures"),
+    "retries": ("counts", "retries"),
+    "evictions": ("counts", "evictions"),
+    "timeouts": ("counts", "timeouts"),
+    "kickstart_mean": ("kickstart", "mean"),
+    "kickstart_p50": ("kickstart", "p50"),
+    "kickstart_p95": ("kickstart", "p95"),
+    "kickstart_p99": ("kickstart", "p99"),
+    "kickstart_max": ("kickstart", "max"),
+    "cpu_s": ("profile", "cpu_user_s"),
+    "peak_rss_kb": ("profile", "peak_rss_kb"),
+}
+
+
+def _metric(report: dict, name: str) -> float:
+    node = report
+    for key in _METRIC_PATHS[name]:
+        if not isinstance(node, Mapping) or key not in node:
+            return 0.0
+        node = node[key]
+    return float(node)
+
+
+def compare_reports(base: dict, new: dict) -> dict:
+    """Align two reports and compute the full delta table."""
+    metrics: dict = {}
+    for name in _METRIC_PATHS:
+        b, n = _metric(base, name), _metric(new, name)
+        metrics[name] = {
+            "base": b,
+            "new": n,
+            "delta": n - b,
+            "pct": ((n - b) / b * 100.0) if b else None,
+        }
+    per_transformation: dict = {}
+    base_t = base.get("per_transformation") or {}
+    new_t = new.get("per_transformation") or {}
+    for name in sorted(set(base_t) | set(new_t)):
+        b_row, n_row = base_t.get(name), new_t.get(name)
+        per_transformation[name] = {
+            "base_kickstart_mean": b_row["kickstart_mean"] if b_row else None,
+            "new_kickstart_mean": n_row["kickstart_mean"] if n_row else None,
+            "base_count": b_row["count"] if b_row else 0,
+            "new_count": n_row["count"] if n_row else 0,
+        }
+    return {
+        "schema": COMPARE_SCHEMA,
+        "base": base.get("label"),
+        "new": new.get("label"),
+        "metrics": metrics,
+        "per_transformation": per_transformation,
+    }
+
+
+def parse_fail_on(specs: list[str]) -> dict[str, tuple[str, float]]:
+    """``["makespan=5%", "retries=3"]`` → thresholds by metric.
+
+    Each value is ``(kind, limit)`` with kind ``"pct"`` or ``"abs"``.
+    Unknown metrics and malformed limits raise ``ValueError`` (the CLI
+    maps that to exit code 2).
+    """
+    thresholds: dict[str, tuple[str, float]] = {}
+    for spec in specs:
+        metric, sep, limit = spec.partition("=")
+        metric = metric.strip()
+        if not sep or metric not in _METRIC_PATHS:
+            known = ", ".join(sorted(_METRIC_PATHS))
+            raise ValueError(
+                f"bad --fail-on {spec!r}: want METRIC=LIMIT with METRIC "
+                f"one of {known}"
+            )
+        limit = limit.strip()
+        try:
+            if limit.endswith("%"):
+                thresholds[metric] = ("pct", float(limit[:-1]))
+            else:
+                thresholds[metric] = ("abs", float(limit.rstrip("s")))
+        except ValueError:
+            raise ValueError(
+                f"bad --fail-on limit in {spec!r}: want e.g. 5% or 120"
+            ) from None
+    return thresholds
+
+
+def check_thresholds(
+    comparison: dict,
+    thresholds: Mapping[str, tuple[str, float]],
+) -> list[str]:
+    """Human-readable descriptions of every exceeded threshold."""
+    violations = []
+    metrics = comparison["metrics"]
+    for name, (kind, limit) in sorted(thresholds.items()):
+        row = metrics[name]
+        base, new = row["base"], row["new"]
+        allowed = base * limit / 100.0 if kind == "pct" else limit
+        if new - base > allowed:
+            shown = f"{limit:g}%" if kind == "pct" else f"{limit:g}"
+            violations.append(
+                f"{name}: {new:,.1f} exceeds base {base:,.1f} "
+                f"by {new - base:,.1f} (> allowed {shown})"
+            )
+    return violations
+
+
+def render_compare_markdown(
+    comparison: dict,
+    *,
+    thresholds: Mapping[str, tuple[str, float]] | None = None,
+    violations: list[str] | None = None,
+) -> str:
+    metrics = comparison["metrics"]
+    thresholds = thresholds or {}
+    lines = [
+        f"# Run comparison — `{comparison['base']}` → `{comparison['new']}`",
+        "",
+        "| metric | base | new | Δ | Δ% | gate |",
+        "|---|---:|---:|---:|---:|---|",
+    ]
+    for name, row in metrics.items():
+        if row["base"] == 0 and row["new"] == 0 and name not in thresholds:
+            continue  # don't spam all-zero rows
+        pct = f"{row['pct']:+.1f}%" if row["pct"] is not None else "—"
+        if name in thresholds:
+            kind, limit = thresholds[name]
+            shown = f"{limit:g}%" if kind == "pct" else f"±{limit:g}"
+            gate = f"≤ {shown}"
+        else:
+            gate = ""
+        lines.append(
+            f"| {name} | {row['base']:,.1f} | {row['new']:,.1f} "
+            f"| {row['delta']:+,.1f} | {pct} | {gate} |"
+        )
+    if violations:
+        lines += ["", "## REGRESSIONS", ""]
+        lines += [f"* **{v}**" for v in violations]
+    elif thresholds:
+        lines += ["", "All gated metrics within thresholds."]
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# CLI
+
+
+def _write_outputs(args, payload: dict, markdown: str) -> None:
+    from repro.util.iolib import atomic_write
+
+    if args.json_out:
+        atomic_write(Path(args.json_out), json.dumps(payload, indent=2))
+    if args.markdown_out:
+        atomic_write(Path(args.markdown_out), markdown + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-report",
+        description="Makespan attribution and differential run comparison.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="attribute one run's makespan"
+    )
+    analyze.add_argument(
+        "run", help="run directory, events/trace .jsonl, or saved report"
+    )
+    analyze.add_argument("--label", default=None)
+    analyze.add_argument("--json", dest="json_out", default=None,
+                         help="also save the machine-readable report here")
+    analyze.add_argument("--markdown", dest="markdown_out", default=None,
+                         help="also save the rendered Markdown here")
+    analyze.add_argument("--quiet", action="store_true",
+                         help="suppress stdout (files only)")
+
+    compare = sub.add_parser(
+        "compare", help="diff two runs and gate on regressions"
+    )
+    compare.add_argument("base", help="baseline run dir / log / report")
+    compare.add_argument("new", help="candidate run dir / log / report")
+    compare.add_argument(
+        "--fail-on", action="append", default=[], metavar="METRIC=LIMIT",
+        help="regression gate, e.g. makespan=5%% or retries=3 "
+             "(repeatable; exit 1 when any is exceeded)",
+    )
+    compare.add_argument("--json", dest="json_out", default=None)
+    compare.add_argument("--markdown", dest="markdown_out", default=None)
+    compare.add_argument("--quiet", action="store_true")
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "analyze":
+            report = load_report(args.run, label=args.label)
+            markdown = render_markdown(report)
+            _write_outputs(args, report, markdown)
+            if not args.quiet:
+                print(markdown)
+            return 0
+
+        base = load_report(args.base)
+        new = load_report(args.new)
+        thresholds = parse_fail_on(args.fail_on)
+        comparison = compare_reports(base, new)
+        violations = check_thresholds(comparison, thresholds)
+        comparison["violations"] = violations
+        markdown = render_compare_markdown(
+            comparison, thresholds=thresholds, violations=violations
+        )
+        _write_outputs(args, comparison, markdown)
+        if not args.quiet:
+            print(markdown)
+        if violations:
+            print(
+                f"repro-report: {len(violations)} regression(s) exceeded "
+                "--fail-on thresholds",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro-report: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -33,6 +33,7 @@ from repro.dagman.dag import DagJob
 from repro.dagman.events import JobAttempt, JobStatus
 from repro.observe.bus import EventBus
 from repro.observe.events import EventKind, RunEvent
+from repro.observe.profile import modelled_profile
 from repro.resilience.faults import resolve_exec
 from repro.sim.engine import Simulator
 from repro.sim.failures import NO_FAILURES, FailureModel
@@ -338,6 +339,10 @@ class CloudPlatform:
             exec_end=self.now,
             status=status,
             error=error,
+            profile=modelled_profile(
+                job.transformation, self.now - start,
+                speed=self.config.instance_type.speed,
+            ),
         )
         instance.busy = False
         if terminate:

@@ -26,6 +26,7 @@ from repro.dagman.dag import DagJob
 from repro.dagman.events import JobAttempt, JobStatus
 from repro.observe.bus import EventBus
 from repro.observe.events import EventKind, RunEvent
+from repro.observe.profile import modelled_profile
 from repro.resilience.faults import resolve_exec
 from repro.sim.engine import Simulator
 from repro.sim.machine import MachineSpec, make_machines
@@ -299,6 +300,11 @@ class CampusCluster:
             exec_end=self.now,
             status=status,
             error=error,
+            # Model-derived usage for the realized exec window (evicted
+            # or timed-out attempts show the work they burned anyway).
+            profile=modelled_profile(
+                job.transformation, self.now - start, speed=machine.speed
+            ),
         )
         self._busy -= 1
         if status is JobStatus.SUCCEEDED and self.blacklist is not None:

@@ -35,6 +35,7 @@ from repro.dagman.dag import DagJob
 from repro.dagman.events import JobAttempt, JobStatus
 from repro.observe.bus import EventBus
 from repro.observe.events import EventKind, RunEvent
+from repro.observe.profile import modelled_profile
 from repro.resilience.faults import resolve_exec
 from repro.sim.engine import Simulator
 from repro.sim.failures import FailureModel
@@ -519,6 +520,12 @@ class OpportunisticGrid:
             exec_end=self.now,
             status=status,
             error=error,
+            # Model-derived usage for the realized exec window (evicted
+            # attempts show the work OSG preemption threw away).
+            profile=modelled_profile(
+                job.transformation, self.now - exec_start,
+                speed=machine.speed,
+            ),
         )
         if status is JobStatus.SUCCEEDED and self.blacklist is not None:
             self.blacklist.record_success(machine.name, machine.site)

@@ -169,7 +169,6 @@ def main_run(argv: list[str] | None = None) -> int:
                              "another chance (0 = permanent)")
     args = parser.parse_args(argv)
 
-    from repro.dagman.dag import Dag, DagJob
     from repro.observe import (
         EventBus,
         EventKind,
@@ -198,23 +197,11 @@ def main_run(argv: list[str] | None = None) -> int:
     from repro.sim.rng import RngStreams
     from repro.wms.monitor import write_trace
 
+    from repro.observe.report import dag_from_plan_meta
+
     submit = Path(args.submit_dir)
     meta = json.loads((submit / PLAN_FILE).read_text())
-
-    dag = Dag(name=f"blast2cap3-n{meta['n']}-{meta['site']}")
-    for name, spec in meta["jobs"].items():
-        dag.add_job(
-            DagJob(
-                name=name,
-                transformation=spec["transformation"],
-                runtime=spec["runtime"],
-                needs_setup=spec["needs_setup"],
-                retries=spec["retries"],
-                timeout_s=spec.get("timeout_s"),
-            )
-        )
-    for parent, child in meta["edges"]:
-        dag.add_edge(parent, child)
+    dag = dag_from_plan_meta(meta)
 
     simulator = Simulator()
     streams = RngStreams(seed=args.seed)
@@ -309,6 +296,7 @@ def main_run(argv: list[str] | None = None) -> int:
     write_chrome_trace(
         submit / CHROME_TRACE_FILE, outcome.trace,
         samples=sampler.samples if sampler is not None else None,
+        events=recorder.events,
         workflow=dag.name,
     )
     if sampler is not None:

@@ -11,7 +11,12 @@ import json
 from pathlib import Path
 from typing import Iterable
 
-from repro.dagman.events import JobAttempt, JobStatus, WorkflowTrace
+from repro.dagman.events import (
+    JobAttempt,
+    JobStatus,
+    ResourceProfile,
+    WorkflowTrace,
+)
 
 __all__ = ["write_trace", "read_trace", "append_attempt", "progress_line"]
 
@@ -33,13 +38,21 @@ def _to_dict(attempt: JobAttempt) -> dict:
     record["status"] = attempt.status.value
     if attempt.error:
         record["error"] = attempt.error
+    if attempt.profile is not None:
+        record["profile"] = attempt.profile.to_json()
     return record
 
 
 def _from_dict(record: dict) -> JobAttempt:
+    profile = record.get("profile")
     return JobAttempt(
         status=JobStatus(record["status"]),
         error=record.get("error"),
+        profile=(
+            ResourceProfile.from_json(profile)
+            if isinstance(profile, dict)
+            else None
+        ),
         **{name: record[name] for name in _FIELDS},
     )
 

@@ -160,7 +160,9 @@ def per_transformation(trace: WorkflowTrace) -> list[TransformationStats]:
     ]
 
 
-def critical_path(trace: WorkflowTrace, dag) -> list[JobAttempt]:
+def critical_path(
+    trace: WorkflowTrace, dag, *, attempts: str = "successful"
+) -> list[JobAttempt]:
     """The *retrospective* critical path of an executed workflow.
 
     Walks the DAG backward from the last-finishing job, at each step
@@ -171,10 +173,22 @@ def critical_path(trace: WorkflowTrace, dag) -> list[JobAttempt]:
     ``run_cap3`` partition).
 
     ``dag`` is the executed :class:`repro.dagman.dag.Dag`.
+
+    ``attempts`` selects which attempt represents each job on the path:
+    ``"successful"`` (the default, the classic view over jobs that
+    finished) or ``"final"`` — every job's last attempt regardless of
+    status, so a workflow whose tail is a hard-failed job still has a
+    path reaching the makespan's end (what the attribution engine in
+    :mod:`repro.observe.analysis` walks).
     """
+    if attempts not in ("successful", "final"):
+        raise ValueError(f"unknown attempts selector: {attempts!r}")
     final_attempt: dict[str, JobAttempt] = {}
-    for attempt in trace.successful():
-        final_attempt[attempt.job_name] = attempt
+    pool = trace.successful() if attempts == "successful" else trace
+    for attempt in pool:
+        prior = final_attempt.get(attempt.job_name)
+        if prior is None or attempt.attempt > prior.attempt:
+            final_attempt[attempt.job_name] = attempt
     if not final_attempt:
         return []
 
