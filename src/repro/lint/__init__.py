@@ -1,23 +1,37 @@
-"""``repro.lint`` — pre-flight static analysis for workflows.
+"""``repro.lint`` — whole-workflow static analysis.
 
-A rule-based linter that catches, *before submission*, the failure
-modes the paper hit at runtime on OSG: unsatisfiable software
+A rule-based analysis framework that catches, *before submission*, the
+failure modes the paper hit at runtime on OSG: unsatisfiable software
 requirements, inputs that can never be staged, write-write conflicts,
 retry budgets that cannot survive preemption, and clustering that
-serializes the critical path. Three passes:
+serializes the critical path. Six passes:
 
 * **DAX pass** (``DAX0xx``) — structural rules over the abstract
   workflow: cycles, orphaned inputs, write-write conflicts, dead jobs,
   size disagreements;
+* **dataflow/provenance pass** (``FLOW0xx``) — a fixpoint over the
+  file-flow graph: transitively starved jobs, dead outputs, reuse
+  candidates, disconnected islands (:mod:`repro.lint.dataflow`);
 * **catalog/site pass** (``CAT0xx``) — the workflow against the
   replica/transformation/site catalogs: unresolvable transformations,
   statically unsatisfiable ClassAd requirements, replicas at unknown
   sites;
 * **planned-DAG pass** (``PLAN0xx``) — the planner's executable output:
   needless setup steps, zero retries on preemptible sites, clustering
-  regressions, priority inversions.
+  regressions, priority inversions;
+* **resource-feasibility pass** (``RES0xx``) — symbolic matchmaking
+  against :class:`~repro.lint.feasibility.SitePool` descriptors derived
+  from the simulator configs: never-matchable jobs, pool
+  oversubscription, provably insufficient retry budgets and timeouts
+  (:mod:`repro.lint.feasibility`);
+* **determinism audit** (``DET0xx``) — opt-in trace-replay under
+  perturbed hash seeds and RNG conditions
+  (:mod:`repro.lint.determinism`).
 
-Usage::
+Findings support severity overrides, glob suppressions, and
+fingerprint baselines (:mod:`repro.lint.suppress`), SARIF 2.1.0 export
+(:mod:`repro.lint.sarif`), and autofixes for mechanical rules
+(:mod:`repro.lint.fix`). Usage::
 
     from repro.lint import lint, render_report
     report = lint(adag, sites=sites, transformations=tc,
@@ -31,7 +45,8 @@ The planner runs this automatically (``PlannerOptions.lint``), and the
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from dataclasses import replace as _replace
+from typing import TYPE_CHECKING, Mapping
 
 from repro.lint.findings import Finding, Report, Severity, render_report
 from repro.lint.registry import (
@@ -43,8 +58,15 @@ from repro.lint.registry import (
 
 # Importing the rule modules registers their rules.
 from repro.lint import catalog_rules as _catalog_rules  # noqa: E402,F401
+from repro.lint import dataflow as _dataflow  # noqa: E402,F401
 from repro.lint import dax_rules as _dax_rules  # noqa: E402,F401
+from repro.lint import determinism as _determinism  # noqa: E402,F401
+from repro.lint import feasibility as _feasibility  # noqa: E402,F401
 from repro.lint import plan_rules as _plan_rules  # noqa: E402,F401
+
+from repro.lint.determinism import DeterminismOptions
+from repro.lint.feasibility import SitePool, default_pools
+from repro.lint.suppress import LintConfig, apply_baseline
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.wms.catalogs import (
@@ -62,10 +84,14 @@ __all__ = [
     "Report",
     "Rule",
     "LintContext",
+    "LintConfig",
+    "SitePool",
+    "DeterminismOptions",
     "lint",
     "rule",
     "registered_rules",
     "render_report",
+    "default_pools",
 ]
 
 
@@ -78,6 +104,10 @@ def lint(
     site: "str | SiteEntry | None" = None,
     options: "PlannerOptions | None" = None,
     planned: "PlannedWorkflow | None" = None,
+    pools: "Mapping[str, SitePool] | None" = None,
+    determinism: "DeterminismOptions | None" = None,
+    config: "LintConfig | None" = None,
+    baseline: "frozenset[str] | None" = None,
 ) -> Report:
     """Run every applicable rule against ``adag`` and its context.
 
@@ -85,8 +115,16 @@ def lint(
     site, planned DAG) is missing are skipped and listed in
     ``Report.skipped_rules``. ``site`` may be a name (looked up in
     ``sites``) or a :class:`~repro.wms.catalogs.SiteEntry` directly.
-    The linter never raises on workflow defects — broken workflows are
-    exactly its subject matter.
+
+    ``pools`` overrides the resource descriptors the feasibility pass
+    matches against; by default they are derived from the simulator
+    configurations whenever a site catalog is given. ``determinism``
+    opts in to the (simulation-replaying) determinism audit.
+    ``config`` remaps severities and declares suppressions;
+    ``baseline`` suppresses previously recorded finding fingerprints.
+    Suppressed findings stay in the report but do not affect
+    ``Report.ok``. The linter never raises on workflow defects —
+    broken workflows are exactly its subject matter.
     """
     requested_site: str | None = None
     site_entry: "SiteEntry | None" = None
@@ -97,6 +135,9 @@ def lint(
     elif site is not None:
         site_entry = site
 
+    if pools is None and sites is not None:
+        pools = default_pools(sites)
+
     ctx = LintContext(
         adag=adag,
         sites=sites,
@@ -106,13 +147,28 @@ def lint(
         options=options,
         planned=planned,
         requested_site=requested_site,
+        pools=dict(pools) if pools is not None else None,
+        determinism=determinism,
     )
     report = Report(workflow=adag.name)
     for r in registered_rules():
+        if config is not None and config.disabled(r.id):
+            report.disabled_rules.append(r.id)
+            continue
         if not r.applicable(ctx):
             report.skipped_rules.append(r.id)
             continue
         report.checked_rules.append(r.id)
-        report.findings.extend(r.run(ctx))
+        for found in r.run(ctx):
+            if config is not None:
+                severity = config.effective_severity(r.id, found.severity)
+                if severity is not found.severity:
+                    found = _replace(found, severity=severity)
+                matched = config.suppression_for(found)
+                if matched is not None:
+                    found = found.suppress(matched)
+            report.findings.append(found)
+    if baseline:
+        apply_baseline(report, baseline)
     report.sort()
     return report

@@ -1,32 +1,41 @@
-"""``repro-lint``: the pre-flight workflow linter on the command line.
+"""``repro-lint``: the pre-flight workflow analyzer on the command line.
 
 Lints either a DAX file (``--dax workflow.dax``) or the bundled
 blast2cap3 workflow at a given scale (``-n``), against the default
-catalogs and a target site. Exit status 0 means no ERROR findings;
-1 means at least one; 2 means the input could not be read.
+catalogs and a target site. Exit status 0 means no failing findings
+(suppressed/baselined findings never fail), 1 means at least one, 2
+means the input could not be read. Diagnostics go to stderr; with
+``--format json`` or ``--format sarif`` stdout carries *only* the
+machine-readable document.
 
 Examples::
 
     repro-lint -n 300 --site osg --setup-mode never   # the paper's trap
-    repro-lint --dax run1/workflow.dax --site sandhills --json
+    repro-lint --dax run1/workflow.dax --site sandhills --format json
+    repro-lint -n 100 --site osg --pools doctored.json --format sarif
+    repro-lint --dax w.dax --fix                      # repair mechanical findings
+    repro-lint -n 6 --audit-determinism               # replay-based audit
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from repro.lint import lint, render_report
+from repro.lint.findings import Report
 
 __all__ = ["main"]
 
 
-def main(argv: list[str] | None = None) -> int:
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Static pre-flight analysis of a workflow: DAX, "
-        "catalog, and planned-DAG rules.",
+        "dataflow, catalog, planned-DAG, and resource-feasibility "
+        "rules, plus an opt-in determinism audit.",
     )
     source = parser.add_mutually_exclusive_group()
     source.add_argument("--dax", help="path to a DAX XML file to lint")
@@ -49,17 +58,84 @@ def main(argv: list[str] | None = None) -> int:
         help="horizontal clustering factor to lint against",
     )
     parser.add_argument(
-        "--json", action="store_true", help="emit the report as JSON"
+        "--format", choices=("text", "json", "sarif"), default="text",
+        dest="output_format",
+        help="report format on stdout (default: text)",
     )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="shorthand for --format json",
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH",
+        help="additionally write the report as SARIF 2.1.0 to PATH",
+    )
+    parser.add_argument(
+        "--pools", metavar="PATH",
+        help="JSON file of site-pool overrides for the feasibility "
+        'pass, e.g. {"osg": {"software": ["has_python"]}} to model a '
+        "pool without the rest of the stack",
+    )
+    parser.add_argument(
+        "--config", metavar="PATH",
+        help="lint config (JSON): severity overrides and suppressions",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH",
+        help="suppress findings whose fingerprints are in this baseline",
+    )
+    parser.add_argument(
+        "--write-baseline", metavar="PATH",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="apply autofixes for mechanical findings (requires --dax; "
+        "rewrites the file, keeping a .orig backup)",
+    )
+    parser.add_argument(
+        "--audit-determinism", action="store_true",
+        help="also replay small simulations under perturbed RNG "
+        "conditions and report trace divergence (slow)",
+    )
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning"), default="error",
+        help="exit 1 when findings of this severity (or worse) remain "
+        "unsuppressed (default: error)",
+    )
+    return parser
+
+
+def _fails(report: Report, fail_on: str) -> bool:
+    if fail_on == "warning":
+        return bool(report.errors() or report.warnings())
+    return not report.ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.json:
+        args.output_format = "json"
 
     from repro.core.workflow_factory import (
         build_blast2cap3_adag,
         default_catalogs,
     )
+    from repro.lint.determinism import DeterminismOptions
+    from repro.lint.feasibility import default_pools, pools_from_mapping
+    from repro.lint.suppress import (
+        LintConfig,
+        load_baseline,
+        write_baseline,
+    )
     from repro.perfmodel.task_models import PaperTaskModel
     from repro.wms.dax import ADag
     from repro.wms.planner import PlannerOptions, PlanningError, plan
+
+    if args.fix and not args.dax:
+        parser.error("--fix requires --dax (the bundled workflow is "
+                     "generated, not a file to rewrite)")
 
     if args.dax:
         path = Path(args.dax)
@@ -77,7 +153,36 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             parser.error(str(exc))
 
+    config = None
+    if args.config:
+        try:
+            config = LintConfig.load(args.config)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load config {args.config}: {exc}",
+                  file=sys.stderr)
+            return 2
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {args.baseline}: {exc}",
+                  file=sys.stderr)
+            return 2
+
     sites, transformations, replicas = default_catalogs()
+    pools = None
+    if args.pools:
+        try:
+            overrides = json.loads(Path(args.pools).read_text())
+            pools = pools_from_mapping(
+                overrides, base=default_pools(sites)
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot load pools {args.pools}: {exc}",
+                  file=sys.stderr)
+            return 2
+
     try:
         options = PlannerOptions(
             retries=args.retries,
@@ -88,33 +193,90 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
-    # Best effort: include the planned-DAG pass when the workflow plans
-    # at all; when planning itself fails the static passes still run
-    # and explain why.
-    planned = None
-    try:
-        planned = plan(
-            adag,
-            site_name=args.site,
+    determinism = None
+    if args.audit_determinism:
+        determinism = DeterminismOptions(
+            n=min(args.clusters, 6), platforms=("sandhills", "osg")
+        )
+
+    def run_lint(current: ADag) -> Report:
+        # Best effort: include the planned-DAG pass when the workflow
+        # plans at all; when planning itself fails the static passes
+        # still run and explain why.
+        planned = None
+        try:
+            planned = plan(
+                current,
+                site_name=args.site,
+                sites=sites,
+                transformations=transformations,
+                replicas=replicas,
+                options=options,
+            )
+        except (PlanningError, ValueError):
+            pass
+        return lint(
+            current,
             sites=sites,
             transformations=transformations,
             replicas=replicas,
+            site=args.site,
             options=options,
+            planned=planned,
+            pools=pools,
+            determinism=determinism,
+            config=config,
+            baseline=baseline,
         )
-    except (PlanningError, ValueError):
-        pass
 
-    report = lint(
-        adag,
-        sites=sites,
-        transformations=transformations,
-        replicas=replicas,
-        site=args.site,
-        options=options,
-        planned=planned,
-    )
-    print(report.to_json() if args.json else render_report(report))
-    return 0 if report.ok else 1
+    if args.fix:
+        from repro.lint.fix import apply_fixes
+
+        repaired = apply_fixes(
+            adag, relint=lambda a: run_lint(a).findings
+        )
+        if repaired:
+            backup = path.with_suffix(path.suffix + ".orig")
+            backup.write_text(path.read_text())
+            adag.write(path)
+            for f in repaired:
+                print(f"fixed {f.rule} [{f.location}]", file=sys.stderr)
+            print(
+                f"applied {len(repaired)} fix(es) to {path} "
+                f"(backup: {backup})",
+                file=sys.stderr,
+            )
+        else:
+            print("nothing to fix", file=sys.stderr)
+
+    report = run_lint(adag)
+
+    if args.write_baseline:
+        count = write_baseline(report, args.write_baseline)
+        print(
+            f"baseline: recorded {count} finding(s) to "
+            f"{args.write_baseline}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.sarif:
+        from repro.lint.sarif import sarif_json
+
+        Path(args.sarif).write_text(
+            sarif_json(report, artifact=args.dax) + "\n"
+        )
+        print(f"SARIF written to {args.sarif}", file=sys.stderr)
+
+    if args.output_format == "json":
+        print(report.to_json())
+    elif args.output_format == "sarif":
+        from repro.lint.sarif import sarif_json
+
+        print(sarif_json(report, artifact=args.dax))
+    else:
+        print(render_report(report))
+    return 1 if _fails(report, args.fail_on) else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

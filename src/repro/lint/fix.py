@@ -1,0 +1,124 @@
+"""``repro-lint --fix``: autofixes for mechanical findings.
+
+Only findings with a purely syntactic remedy get a fixer — the fix
+must be provably behaviour-preserving (or behaviour-*restoring*) on
+the abstract workflow alone:
+
+* **DAX007** (redundant explicit edge) — drop the ``add_dependency``
+  edge; the identical data dependency keeps the ordering.
+* **DAX005** (file size disagreement) — unify every declaration of the
+  LFN to the *largest* declared size (transfer-time modelling prefers
+  the conservative estimate).
+
+Fixers receive the live :class:`~repro.wms.dax.ADag` and one finding,
+mutate the workflow in place, and report whether they changed
+anything. :func:`apply_fixes` drives the fix → re-lint loop until no
+fixable finding remains (bounded, in case a fixer keeps claiming
+progress), which is what the CLI's ``--fix`` wraps: it rewrites the
+DAX file and prints what it repaired.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.wms.dax import ADag
+
+__all__ = ["register_fixer", "fixable_rules", "apply_fixes"]
+
+Fixer = Callable[["ADag", Finding], bool]
+
+_FIXERS: dict[str, Fixer] = {}
+
+#: fix → re-lint rounds before giving up (defensive bound).
+MAX_ROUNDS = 5
+
+
+def register_fixer(rule_id: str) -> Callable[[Fixer], Fixer]:
+    """Register an autofixer for ``rule_id`` findings."""
+
+    def decorate(fn: Fixer) -> Fixer:
+        if rule_id in _FIXERS:
+            raise ValueError(f"duplicate fixer for rule: {rule_id!r}")
+        _FIXERS[rule_id] = fn
+        return fn
+
+    return decorate
+
+
+def fixable_rules() -> list[str]:
+    return sorted(_FIXERS)
+
+
+@register_fixer("DAX007")
+def _drop_redundant_edge(adag: "ADag", finding: Finding) -> bool:
+    prefix, _, spec = finding.location.partition(":")
+    if prefix != "edge" or "->" not in spec:
+        return False
+    parent, _, child = spec.partition("->")
+    if (parent, child) in adag._explicit_edges:
+        adag._explicit_edges.discard((parent, child))
+        return True
+    return False
+
+
+@register_fixer("DAX005")
+def _unify_file_sizes(adag: "ADag", finding: Finding) -> bool:
+    from dataclasses import replace
+
+    prefix, _, lfn = finding.location.partition(":")
+    if prefix != "file" or not lfn:
+        return False
+    declared = [
+        f.size
+        for job in adag.jobs.values()
+        for f, _link in job.uses
+        if f.name == lfn
+    ]
+    if len(set(declared)) < 2:
+        return False
+    biggest = max(declared)
+    for job in adag.jobs.values():
+        job.uses = [
+            (replace(f, size=biggest), link)
+            if f.name == lfn and f.size != biggest
+            else (f, link)
+            for f, link in job.uses
+        ]
+    return True
+
+
+def apply_fixes(
+    adag: "ADag",
+    *,
+    relint: Callable[["ADag"], Iterable[Finding]] | None = None,
+) -> list[Finding]:
+    """Fix every fixable finding; returns the findings repaired.
+
+    ``relint`` produces the current findings for ``adag`` (defaults to
+    the DAX pass of :func:`repro.lint.lint`); it is re-run after each
+    round because one fix can expose or retire other findings.
+    """
+    if relint is None:
+
+        def relint(a: "ADag") -> Iterable[Finding]:
+            from repro.lint import lint
+
+            return lint(a).findings
+
+    repaired: list[Finding] = []
+    for _round in range(MAX_ROUNDS):
+        progressed = False
+        for finding in list(relint(adag)):
+            fixer = _FIXERS.get(finding.rule)
+            if fixer is None or finding.suppressed:
+                continue
+            if fixer(adag, finding):
+                repaired.append(finding)
+                progressed = True
+        if not progressed:
+            break
+    return repaired

@@ -24,6 +24,8 @@ from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 from repro.lint.findings import Finding, Severity
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.determinism import DeterminismOptions
+    from repro.lint.feasibility import SitePool
     from repro.wms.catalogs import (
         ReplicaCatalog,
         SiteCatalog,
@@ -49,6 +51,12 @@ class LintContext:
     planned: "PlannedWorkflow | None" = None
     #: site name the caller asked for when catalog lookup failed
     requested_site: str | None = None
+    #: resource pools the feasibility pass matches against; defaults to
+    #: the simulator-derived pools when a site is known
+    pools: "dict[str, SitePool] | None" = None
+    #: opt-in determinism-audit configuration (DET rules); left None
+    #: in normal lint runs because the audit replays simulations
+    determinism: "DeterminismOptions | None" = None
 
     # -- tolerant graph views -----------------------------------------
 
@@ -141,6 +149,12 @@ def rule(
 
     def decorate(fn: Callable[[LintContext], Iterable[Finding]]) -> Rule:
         if rule_id in _REGISTRY:
+            # ``python -m repro.lint.determinism`` (and any other rule
+            # module run via runpy) executes the module a second time
+            # under ``__main__`` after ``repro.lint`` already imported
+            # it; that re-registration is the same rule, not a clash.
+            if fn.__module__ == "__main__":
+                return _REGISTRY[rule_id]
             raise ValueError(f"duplicate rule id: {rule_id!r}")
         r = Rule(
             id=rule_id,

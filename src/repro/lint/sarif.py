@@ -1,0 +1,211 @@
+"""SARIF 2.1.0 export for lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI systems ingest for code-scanning annotations; emitting it
+lets ``repro-lint`` findings land in the same review surfaces as any
+other analyzer. One :class:`~repro.lint.findings.Report` maps to one
+``run``:
+
+* every registered rule becomes a ``tool.driver.rules`` entry (id,
+  title, default level), so consumers can render rule metadata even
+  for rules that did not fire;
+* every finding becomes a ``result`` with ``ruleId``, ``level``
+  (``error``/``warning``/``note``), the finding's location as a SARIF
+  *logical location* (workflows have no file/line, they have
+  ``job:x`` / ``file:y`` coordinates), and the finding fingerprint as
+  a ``partialFingerprints`` entry for cross-run matching;
+* suppressed findings carry a ``suppressions`` list, which compliant
+  viewers hide by default — mirroring the exit-code semantics.
+
+:func:`validate_sarif` is a self-contained structural validator (the
+schema subset this module can produce) used by the tests and available
+to callers; it avoids a runtime dependency on a JSON-Schema engine.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.lint.findings import Report, Severity
+from repro.lint.registry import registered_rules
+
+__all__ = ["report_to_sarif", "sarif_json", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def report_to_sarif(
+    report: Report, *, artifact: str | None = None
+) -> dict[str, Any]:
+    """``report`` as a SARIF 2.1.0 document (a plain dict).
+
+    ``artifact`` optionally names the analyzed input (a DAX path) as
+    the run's artifact location.
+    """
+    rules = registered_rules()
+    rule_index = {r.id: i for i, r in enumerate(rules)}
+    driver: dict[str, Any] = {
+        "name": "repro-lint",
+        "informationUri": (
+            "https://example.org/repro/docs/ARCHITECTURE.md"
+        ),
+        "rules": [
+            {
+                "id": r.id,
+                "name": r.title.title().replace(" ", ""),
+                "shortDescription": {"text": r.title},
+                "defaultConfiguration": {"level": _LEVEL[r.severity]},
+            }
+            for r in rules
+        ],
+    }
+    results: list[dict[str, Any]] = []
+    for f in report.findings:
+        message = f.message
+        if f.fix_hint:
+            message += f" Hint: {f.fix_hint}"
+        result: dict[str, Any] = {
+            "ruleId": f.rule,
+            "level": _LEVEL[f.severity],
+            "message": {"text": message},
+            "locations": [
+                {
+                    "logicalLocations": [
+                        {
+                            "fullyQualifiedName": f.location,
+                            "kind": f.location.split(":", 1)[0]
+                            if ":" in f.location
+                            else "module",
+                        }
+                    ]
+                }
+            ],
+            "partialFingerprints": {"reproLint/v1": f.fingerprint},
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        if f.suppressed:
+            result["suppressions"] = [
+                {
+                    "kind": "external",
+                    "justification": f.suppressed_by,
+                }
+            ]
+        results.append(result)
+    run: dict[str, Any] = {
+        "tool": {"driver": driver},
+        "results": results,
+        "properties": {
+            "workflow": report.workflow,
+            "verdict": report.verdict,
+            "checkedRules": report.checked_rules,
+            "skippedRules": report.skipped_rules,
+            "disabledRules": report.disabled_rules,
+        },
+    }
+    if artifact is not None:
+        run["artifacts"] = [{"location": {"uri": artifact}}]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }
+
+
+def sarif_json(report: Report, *, artifact: str | None = None) -> str:
+    return json.dumps(
+        report_to_sarif(report, artifact=artifact), indent=2
+    )
+
+
+# -- structural validation ------------------------------------------------
+
+_VALID_LEVELS = frozenset({"none", "note", "warning", "error"})
+
+
+def validate_sarif(doc: Mapping[str, Any]) -> list[str]:
+    """Structural errors in ``doc`` against the SARIF 2.1.0 subset this
+    module emits; empty list = valid. Deliberately dependency-free."""
+    errors: list[str] = []
+    if doc.get("version") != SARIF_VERSION:
+        errors.append(
+            f"version must be {SARIF_VERSION!r}, got "
+            f"{doc.get('version')!r}"
+        )
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + ["runs must be a non-empty list"]
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        driver = run.get("tool", {}).get("driver")
+        if not isinstance(driver, dict) or not driver.get("name"):
+            errors.append(f"{where}.tool.driver.name is required")
+            driver = {}
+        rule_ids = set()
+        for di, rule in enumerate(driver.get("rules", [])):
+            if not rule.get("id"):
+                errors.append(
+                    f"{where}.tool.driver.rules[{di}].id is required"
+                )
+            else:
+                rule_ids.add(rule["id"])
+            level = rule.get("defaultConfiguration", {}).get("level")
+            if level is not None and level not in _VALID_LEVELS:
+                errors.append(
+                    f"{where}.tool.driver.rules[{di}] bad level "
+                    f"{level!r}"
+                )
+        results = run.get("results")
+        if not isinstance(results, list):
+            errors.append(f"{where}.results must be a list")
+            continue
+        for i, result in enumerate(results):
+            rwhere = f"{where}.results[{i}]"
+            if not isinstance(
+                result.get("message", {}).get("text"), str
+            ):
+                errors.append(f"{rwhere}.message.text is required")
+            level = result.get("level")
+            if level is not None and level not in _VALID_LEVELS:
+                errors.append(f"{rwhere} bad level {level!r}")
+            rule_id = result.get("ruleId")
+            if rule_id and rule_ids and rule_id not in rule_ids:
+                errors.append(
+                    f"{rwhere}.ruleId {rule_id!r} not declared in "
+                    "tool.driver.rules"
+                )
+            index = result.get("ruleIndex")
+            if index is not None and not (
+                isinstance(index, int)
+                and 0 <= index < len(driver.get("rules", []))
+            ):
+                errors.append(f"{rwhere} ruleIndex out of range")
+            for li, loc in enumerate(result.get("locations", [])):
+                logical = loc.get("logicalLocations", [])
+                physical = loc.get("physicalLocation")
+                if not logical and not physical:
+                    errors.append(
+                        f"{rwhere}.locations[{li}] needs a logical or "
+                        "physical location"
+                    )
+            for si, sup in enumerate(result.get("suppressions", [])):
+                if sup.get("kind") not in (
+                    "inSource",
+                    "external",
+                ):
+                    errors.append(
+                        f"{rwhere}.suppressions[{si}] bad kind "
+                        f"{sup.get('kind')!r}"
+                    )
+    return errors

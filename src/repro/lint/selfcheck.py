@@ -1,0 +1,162 @@
+"""Self-analysis: the observability taxonomy, enforced by AST.
+
+The event bus is stringly-typed at its edges — a ``RunEvent`` built
+with a mis-spelled kind, or an ``_emit`` helper handed a raw string,
+publishes events no subscriber ever matches, and the bug is silent:
+nothing crashes, a metric just quietly flatlines. This checker walks
+the source tree and verifies that every event-publishing call site
+names a registered :class:`~repro.observe.events.EventKind` member:
+
+* ``RunEvent(<kind>, ...)`` constructions (which is what every
+  ``bus.emit(...)`` wraps), and
+* calls to ``emit``/``_emit`` methods whose first argument is the kind
+  (the simulators' and scheduler's internal emit helpers).
+
+The kind expression must be ``EventKind.<member>`` with a real member,
+a conditional whose branches both are, or a local name assigned from
+one. Dynamically computed kinds (parameters, comprehensions) pass —
+the checker is deliberately conservative: it flags only provable
+typos, never style. Run as ``python -m repro.lint.selfcheck src/repro``
+(CI does) — exit 1 lists each offending ``file:line``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator
+
+from repro.observe.events import EventKind
+
+__all__ = ["check_source", "check_paths", "main"]
+
+#: Method names whose first argument is an event kind.
+EMIT_NAMES = frozenset({"_emit", "emit"})
+
+
+def _kind_problem(node: ast.expr, resolved: dict[str, ast.expr]) -> str | None:
+    """Why ``node`` is not a valid EventKind expression (None = fine).
+
+    ``resolved`` maps local names to their most recent assigned value
+    expression, for the ``terminal = EventKind.A if ... else B`` idiom.
+    """
+    if isinstance(node, ast.Attribute):
+        base = node.value
+        if isinstance(base, ast.Name) and base.id == "EventKind":
+            if node.attr not in EventKind.__members__:
+                return (
+                    f"EventKind.{node.attr} is not a registered event "
+                    "kind"
+                )
+            return None
+        return None  # e.g. self.kind / record.kind: not statically known
+    if isinstance(node, ast.IfExp):
+        return _kind_problem(node.body, resolved) or _kind_problem(
+            node.orelse, resolved
+        )
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, str):
+            return (
+                f"string literal {node.value!r} where an EventKind "
+                "member is required"
+            )
+        return None
+    if isinstance(node, ast.Name):
+        assigned = resolved.get(node.id)
+        if assigned is not None:
+            return _kind_problem(assigned, resolved)
+        return None  # parameter or non-trivial flow: assume fine
+    return None
+
+
+def _local_assignments(tree: ast.AST) -> dict[str, ast.expr]:
+    """Simple ``name = <expr>`` bindings, last writer wins."""
+    out: dict[str, ast.expr] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                out[target.id] = node.value
+    return out
+
+
+def _kind_argument(call: ast.Call) -> ast.expr | None:
+    """The event-kind expression of an emit/RunEvent call, if present."""
+    if call.args:
+        first = call.args[0]
+        return None if isinstance(first, ast.Starred) else first
+    for kw in call.keywords:
+        if kw.arg == "kind":
+            return kw.value
+    return None
+
+
+def _emit_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "RunEvent":
+            yield node
+        elif isinstance(func, ast.Attribute) and func.attr in EMIT_NAMES:
+            first = _kind_argument(node)
+            # bus.emit(RunEvent(...)) is covered by the RunEvent match;
+            # only direct-kind helpers are checked here.
+            if first is not None and not (
+                isinstance(first, ast.Call)
+                and isinstance(first.func, ast.Name)
+                and first.func.id == "RunEvent"
+            ):
+                yield node
+
+
+def check_source(source: str, path: str = "<string>") -> list[str]:
+    """``file:line: problem`` strings for unregistered event kinds."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [f"{path}:{exc.lineno or 0}: cannot parse: {exc.msg}"]
+    resolved = _local_assignments(tree)
+    problems: list[str] = []
+    for call in _emit_calls(tree):
+        kind = _kind_argument(call)
+        if kind is None:
+            continue
+        problem = _kind_problem(kind, resolved)
+        if problem is not None:
+            problems.append(f"{path}:{call.lineno}: {problem}")
+    return problems
+
+
+def check_paths(paths: list[str | Path]) -> list[str]:
+    """Check every ``.py`` file under the given files/directories."""
+    problems: list[str] = []
+    for root in paths:
+        root = Path(root)
+        files = (
+            sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        )
+        for file in files:
+            problems.extend(
+                check_source(file.read_text(), str(file))
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CI entry point: ``python -m repro.lint.selfcheck src/repro``."""
+    args = argv if argv is not None else sys.argv[1:]
+    if not args:
+        print("usage: python -m repro.lint.selfcheck PATH...", file=sys.stderr)
+        return 2
+    problems = check_paths(list(args))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        print("selfcheck: every emit call site uses a registered EventKind")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

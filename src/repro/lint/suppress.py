@@ -1,0 +1,141 @@
+"""Severity configuration, suppressions, and finding baselines.
+
+Three knobs between "the rule fired" and "the build fails":
+
+* **Severity overrides** — a :class:`LintConfig` remaps a rule's
+  severity (``{"FLOW003": "off"}`` disables it entirely, ``{"PLAN002":
+  "error"}`` promotes it to build-breaking). Overrides apply before
+  exit-code semantics, so promoting a warning makes ``repro-lint``
+  exit 1 on it.
+* **Suppressions** — ``RULE:location`` glob patterns
+  (``"DAX007:edge:split->*"``) silence individual findings without
+  hiding them: suppressed findings stay in the report and in SARIF
+  (as ``suppressions`` entries) but do not affect
+  :attr:`~repro.lint.findings.Report.ok`.
+* **Baselines** — a JSON file of finding fingerprints captured from a
+  known state (``repro-lint --write-baseline``). Later runs suppress
+  exactly those findings, so an old workflow can adopt a new rule
+  without first fixing history, while *new* findings still fail.
+
+Config files are JSON (the toolchain's lowest common denominator)::
+
+    {
+      "severity": {"FLOW003": "off", "PLAN005": "error"},
+      "suppress": ["DAX007:edge:split->*"]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.lint.findings import Finding, Report, Severity
+
+__all__ = [
+    "LintConfig",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+#: Legal values in a config's ``severity`` map.
+SEVERITY_NAMES = ("error", "warning", "info", "off")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Parsed lint configuration (severity remaps + suppressions)."""
+
+    #: rule id -> "error" | "warning" | "info" | "off"
+    severity: Mapping[str, str] = field(default_factory=dict)
+    #: ``RULE:location`` glob patterns (fnmatch, case-sensitive)
+    suppress: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for rule_id, name in self.severity.items():
+            if name not in SEVERITY_NAMES:
+                raise ValueError(
+                    f"bad severity for {rule_id!r}: {name!r} (want one "
+                    f"of {', '.join(SEVERITY_NAMES)})"
+                )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LintConfig":
+        unknown = set(data) - {"severity", "suppress"}
+        if unknown:
+            raise ValueError(
+                f"unknown lint config keys: {', '.join(sorted(unknown))}"
+            )
+        return cls(
+            severity=dict(data.get("severity", {})),
+            suppress=tuple(data.get("suppress", ())),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LintConfig":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def disabled(self, rule_id: str) -> bool:
+        return self.severity.get(rule_id) == "off"
+
+    def effective_severity(
+        self, rule_id: str, default: Severity
+    ) -> Severity:
+        name = self.severity.get(rule_id)
+        if name is None or name == "off":
+            return default
+        return Severity(name)
+
+    def suppression_for(self, finding: Finding) -> str | None:
+        """The first pattern matching ``finding``, or None."""
+        key = f"{finding.rule}:{finding.location}"
+        for pattern in self.suppress:
+            if fnmatchcase(key, pattern):
+                return pattern
+        return None
+
+
+# -- baselines -----------------------------------------------------------
+
+
+def write_baseline(report: Report, path: str | Path) -> int:
+    """Record every *active* finding's fingerprint; returns the count."""
+    fingerprints = sorted(f.fingerprint for f in report.active())
+    Path(path).write_text(
+        json.dumps(
+            {
+                "workflow": report.workflow,
+                "fingerprints": fingerprints,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    return len(fingerprints)
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    data = json.loads(Path(path).read_text())
+    fingerprints = data.get("fingerprints")
+    if not isinstance(fingerprints, list):
+        raise ValueError(f"not a lint baseline file: {path}")
+    return frozenset(str(fp) for fp in fingerprints)
+
+
+def apply_baseline(
+    report: Report, fingerprints: frozenset[str]
+) -> int:
+    """Suppress findings whose fingerprint is baselined; returns the
+    number suppressed."""
+    suppressed = 0
+    for i, f in enumerate(report.findings):
+        if not f.suppressed and f.fingerprint in fingerprints:
+            report.findings[i] = f.suppress("baseline")
+            suppressed += 1
+    if suppressed:
+        report.sort()
+    return suppressed

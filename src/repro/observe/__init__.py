@@ -101,7 +101,7 @@ __all__ = [
 _REPORT_EXPORTS = ("build_report", "compare_reports", "load_report")
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     # Lazy: repro.observe.report is also a __main__ entry point
     # (``python -m repro.observe.report``); importing it eagerly here
     # would make runpy warn about the double import.

@@ -43,8 +43,12 @@ proxy whenever dependencies follow time order (any DAGMan run).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.dagman.events import JobAttempt, WorkflowTrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dagman.dag import Dag
 
 __all__ = [
     "BUCKETS",
@@ -151,7 +155,7 @@ def _final_attempts(trace: WorkflowTrace) -> dict[str, JobAttempt]:
     return final
 
 
-def _chain_from_dag(trace: WorkflowTrace, dag) -> list[JobAttempt]:
+def _chain_from_dag(trace: WorkflowTrace, dag: "Dag") -> list[JobAttempt]:
     from repro.wms.statistics import critical_path
 
     return critical_path(trace, dag, attempts="final")
@@ -186,7 +190,7 @@ def _chain_from_timeline(trace: WorkflowTrace) -> list[JobAttempt]:
 
 
 def attribute_makespan(
-    trace: WorkflowTrace, dag=None
+    trace: WorkflowTrace, dag: "Dag | None" = None
 ) -> MakespanAttribution:
     """Decompose the trace's makespan along its realized critical path.
 

@@ -19,7 +19,7 @@ Two stock subscribers cover the common cases:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Any, Callable, Iterable
 
 from repro.dagman.events import WorkflowTrace
 from repro.observe.events import EventKind, RunEvent
@@ -86,7 +86,9 @@ class EventBus:
 class EventRecorder:
     """Subscriber that keeps every delivered event in memory."""
 
-    def __init__(self, bus: EventBus | None = None, **subscribe_kwargs) -> None:
+    def __init__(
+        self, bus: EventBus | None = None, **subscribe_kwargs: Any
+    ) -> None:
         self.events: list[RunEvent] = []
         if bus is not None:
             bus.subscribe(self, **subscribe_kwargs)

@@ -149,7 +149,7 @@ class EventLogWriter:
     def __enter__(self) -> "EventLogWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

@@ -24,7 +24,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.dagman.events import JobStatus, WorkflowTrace
 from repro.observe.analysis import (
@@ -34,6 +34,9 @@ from repro.observe.analysis import (
 )
 from repro.observe.metrics import Histogram
 from repro.util.units import format_duration
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dagman.dag import Dag
 
 __all__ = [
     "REPORT_SCHEMA",
@@ -57,7 +60,7 @@ COMPARE_SCHEMA = "repro-report-compare/1"
 # loading
 
 
-def dag_from_plan_meta(meta: dict):
+def dag_from_plan_meta(meta: dict) -> "Dag":
     """Rebuild an executable :class:`~repro.dagman.dag.Dag` from the
     ``plan.json`` a submit directory carries (same schema ``repro-plan``
     writes and ``repro-run`` reads)."""
@@ -73,6 +76,8 @@ def dag_from_plan_meta(meta: dict):
                 needs_setup=spec["needs_setup"],
                 retries=spec["retries"],
                 timeout_s=spec.get("timeout_s"),
+                requirements=spec.get("requirements"),
+                priority=spec.get("priority", 0),
             )
         )
     for parent, child in meta["edges"]:
@@ -80,7 +85,9 @@ def dag_from_plan_meta(meta: dict):
     return dag
 
 
-def _load_trace_and_dag(path: Path):
+def _load_trace_and_dag(
+    path: Path,
+) -> tuple[WorkflowTrace, "Dag | None", dict | None, str]:
     """(trace, dag, metrics, label) from a run directory or log file."""
     from repro.wms.monitor import read_trace
 
@@ -172,7 +179,7 @@ def _profile_rollup(trace: WorkflowTrace) -> dict | None:
 def build_report(
     trace: WorkflowTrace,
     *,
-    dag=None,
+    dag: "Dag | None" = None,
     metrics: Mapping[str, object] | None = None,
     label: str = "run",
 ) -> dict:
@@ -511,7 +518,9 @@ def render_compare_markdown(
 # CLI
 
 
-def _write_outputs(args, payload: dict, markdown: str) -> None:
+def _write_outputs(
+    args: argparse.Namespace, payload: dict, markdown: str
+) -> None:
     from repro.util.iolib import atomic_write
 
     if args.json_out:

@@ -148,6 +148,15 @@ class SiteCatalog:
     def __contains__(self, name: str) -> bool:
         return name in self._entries
 
+    def __iter__(self) -> Iterator[SiteEntry]:
+        """Entries in site-name order."""
+        for name in sorted(self._entries):
+            yield self._entries[name]
+
+    def names(self) -> list[str]:
+        """Registered site names, sorted."""
+        return sorted(self._entries)
+
 
 def sandhills_site() -> SiteEntry:
     """The campus cluster: shared FS, maintained software stack."""

@@ -111,6 +111,8 @@ def main_plan(argv: list[str] | None = None) -> int:
                 "needs_setup": job.needs_setup,
                 "retries": job.retries,
                 "timeout_s": job.timeout_s,
+                "requirements": job.requirements,
+                "priority": job.priority,
             }
             for name, job in planned.dag.jobs.items()
         },
@@ -202,6 +204,30 @@ def main_run(argv: list[str] | None = None) -> int:
     submit = Path(args.submit_dir)
     meta = json.loads((submit / PLAN_FILE).read_text())
     dag = dag_from_plan_meta(meta)
+
+    # Admission check with the same feasibility engine the linter and
+    # planner use: a requirement no slot of the target pool can ever
+    # satisfy means the paper's silent-idle failure mode. Warn, don't
+    # block — running doomed plans on the simulator is a legitimate
+    # experiment (it is the paper's Fig. 3 scenario).
+    from repro.lint.feasibility import default_pools, never_matchable
+
+    pool = default_pools().get(meta["site"])
+    if pool is not None:
+        doomed = sorted(
+            name
+            for name, job in dag.jobs.items()
+            if job.requirements
+            and never_matchable(job.requirements, {pool.site: pool})
+        )
+        if doomed:
+            print(
+                f"warning: {len(doomed)} job(s) (e.g. {doomed[0]!r}) have "
+                f"requirements no {meta['site']!r} slot can satisfy; they "
+                "will idle until the unmatched timeout "
+                "(repro-lint names the missing capability)",
+                file=sys.stderr,
+            )
 
     simulator = Simulator()
     streams = RngStreams(seed=args.seed)

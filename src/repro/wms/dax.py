@@ -203,9 +203,13 @@ class ADag:
                         "size": str(f.size),
                     },
                 )
-        # Pegasus writes child/parent pairs; keep that shape.
+        # Pegasus writes child/parent pairs; keep that shape. Only the
+        # *explicit* edges are serialized — data dependencies are
+        # reconstructed from <uses> on read, so writing them too would
+        # turn every data edge into a redundant explicit one (DAX007)
+        # on round-trip.
         children: dict[str, list[str]] = {}
-        for parent, child in sorted(self.edges()):
+        for parent, child in sorted(self._explicit_edges):
             children.setdefault(child, []).append(parent)
         for child, parents in sorted(children.items()):
             c = ET.SubElement(root, "child", {"ref": child})

@@ -26,7 +26,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Literal
+from typing import TYPE_CHECKING, Any, Callable, Literal, Mapping
 
 from repro.dagman.dag import Dag, DagJob
 from repro.wms.catalogs import (
@@ -39,6 +39,7 @@ from repro.wms.dax import ADag
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lint import Report
+    from repro.lint.feasibility import SitePool
 
 __all__ = [
     "PlanningError",
@@ -143,9 +144,16 @@ def plan(
     transformations: TransformationCatalog,
     replicas: ReplicaCatalog,
     options: PlannerOptions = PlannerOptions(),
+    pools: "Mapping[str, SitePool] | None" = None,
 ) -> PlannedWorkflow:
     """Map ``adag`` onto ``site_name``; raises :class:`PlanningError`
-    when transformations or replicas are missing."""
+    when transformations or replicas are missing.
+
+    ``pools`` overrides the resource descriptors the pre-flight
+    feasibility pass matches against (defaults to descriptors derived
+    from the simulator configs); a pool that provably cannot match a
+    job's requirements fails the plan with :class:`LintFailure`.
+    """
     try:
         site = sites.lookup(site_name)
     except KeyError as exc:
@@ -284,6 +292,7 @@ def plan(
             site=site,
             options=options,
             planned=planned,
+            pools=pools,
         )
         planned.lint_report = report
         if options.lint == "error" and not report.ok:

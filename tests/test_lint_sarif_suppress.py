@@ -1,0 +1,271 @@
+"""SARIF export, suppression/baseline semantics, CLI exit codes, and
+the end-to-end acceptance scenario from the issue: the paper workflow
+against a doctored site catalog where no OSG slot has CAP3 must yield a
+never-matchable-job finding naming the job and the closest missing
+capability, emit schema-valid SARIF, and fail the plan fast.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.workflow_factory import (
+    build_blast2cap3_adag,
+    default_catalogs,
+)
+from repro.lint import LintConfig, Severity, lint
+from repro.lint.cli import main as lint_main
+from repro.lint.feasibility import default_pools, pools_from_mapping
+from repro.lint.sarif import report_to_sarif, sarif_json, validate_sarif
+from repro.lint.suppress import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.perfmodel.task_models import PaperTaskModel
+from repro.wms.catalogs import ReplicaCatalog
+from repro.wms.dax import ADag, AbstractJob, File
+from repro.wms.planner import (
+    LintFailure,
+    PlannerOptions,
+    plan,
+)
+
+NO_CAP3 = {"osg": {"software": ["has_python", "has_biopython"]}}
+
+
+def _conflicted_adag():
+    adag = ADag(name="conflicted")
+    for jid in ("a", "b"):
+        j = AbstractJob(id=jid, transformation="t")
+        j.add_output(File("x.dat"))
+        adag.add_job(j)
+    return adag
+
+
+class TestSarif:
+    def test_clean_report_is_valid_sarif(self):
+        adag = build_blast2cap3_adag(8, model=PaperTaskModel())
+        sites, tc, rc = default_catalogs()
+        report = lint(adag, sites=sites, transformations=tc,
+                      replicas=rc, site="sandhills")
+        doc = report_to_sarif(report)
+        assert validate_sarif(doc) == []
+        assert doc["runs"][0]["results"] == []
+        declared = {r["id"] for r in
+                    doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert {"DAX001", "FLOW001", "RES001", "DET001"} <= declared
+
+    def test_findings_map_to_results(self):
+        report = lint(_conflicted_adag())
+        doc = report_to_sarif(report, artifact="conflicted.dax")
+        assert validate_sarif(doc) == []
+        results = doc["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["DAX003"]
+        (result,) = results
+        assert result["level"] == "error"
+        logical = result["locations"][0]["logicalLocations"][0]
+        assert logical["fullyQualifiedName"] == "file:x.dat"
+        assert result["partialFingerprints"]["reproLint/v1"]
+        assert doc["runs"][0]["artifacts"][0]["location"]["uri"] == (
+            "conflicted.dax"
+        )
+
+    def test_suppressed_findings_carry_suppressions(self):
+        config = LintConfig(suppress=("DAX003:file:x.dat",))
+        report = lint(_conflicted_adag(), config=config)
+        doc = report_to_sarif(report)
+        assert validate_sarif(doc) == []
+        (result,) = doc["runs"][0]["results"]
+        assert result["suppressions"][0]["kind"] == "external"
+
+    def test_validator_catches_structural_damage(self):
+        report = lint(_conflicted_adag())
+        doc = report_to_sarif(report)
+        doc["runs"][0]["results"][0]["level"] = "fatal"
+        del doc["runs"][0]["results"][0]["message"]
+        errors = validate_sarif(doc)
+        assert any("bad level" in e for e in errors)
+        assert any("message.text" in e for e in errors)
+
+    def test_sarif_json_round_trips(self):
+        report = lint(_conflicted_adag())
+        doc = json.loads(sarif_json(report))
+        assert doc["version"] == "2.1.0"
+
+
+class TestSuppressionSemantics:
+    def test_suppressed_finding_does_not_fail_the_report(self):
+        config = LintConfig(suppress=("DAX003:*",))
+        report = lint(_conflicted_adag(), config=config)
+        assert report.ok
+        assert len(report.suppressed()) == 1
+        assert not report.active()
+        assert "suppressed" in report.verdict
+
+    def test_severity_promotion_and_demotion(self):
+        config = LintConfig(severity={"DAX003": "warning"})
+        report = lint(_conflicted_adag(), config=config)
+        assert report.ok  # demoted to warning: no errors left
+        assert report.findings[0].severity is Severity.WARNING
+
+    def test_off_disables_the_rule(self):
+        config = LintConfig(severity={"DAX003": "off"})
+        report = lint(_conflicted_adag(), config=config)
+        assert not report.by_rule("DAX003")
+        assert "DAX003" in report.disabled_rules
+        assert "DAX003" not in report.checked_rules
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError, match="bad severity"):
+            LintConfig(severity={"DAX003": "loud"})
+        with pytest.raises(ValueError, match="unknown lint config"):
+            LintConfig.from_dict({"severiti": {}})
+
+    def test_baseline_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        first = lint(_conflicted_adag())
+        assert write_baseline(first, path) == 1
+        fingerprints = load_baseline(path)
+        second = lint(_conflicted_adag(), baseline=fingerprints)
+        assert second.ok
+        assert second.findings[0].suppressed_by == "baseline"
+        # a *new* defect is not hidden by the old baseline
+        adag = _conflicted_adag()
+        extra = AbstractJob(id="c", transformation="t")
+        extra.add_input(File("ghost.txt"))
+        extra.add_output(File("y.dat"))
+        adag.add_job(extra)
+        third = lint(adag, replicas=ReplicaCatalog(),
+                     baseline=fingerprints)
+        assert not third.ok
+        active_rules = {f.rule for f in third.active()}
+        assert "DAX002" in active_rules
+        assert "DAX003" not in active_rules
+
+    def test_apply_baseline_counts(self):
+        report = lint(_conflicted_adag())
+        fp = report.findings[0].fingerprint
+        assert apply_baseline(report, frozenset({fp})) == 1
+        assert apply_baseline(report, frozenset({fp})) == 0  # idempotent
+
+
+class TestCliContracts:
+    def test_suppressed_only_findings_exit_zero(self, tmp_path, capsys):
+        config = tmp_path / "lint.json"
+        config.write_text(json.dumps({"suppress": ["PLAN005:*", "RES003:*"]}))
+        rc = lint_main(
+            ["-n", "12", "--site", "osg", "--config", str(config),
+             "--fail-on", "warning"]
+        )
+        assert rc == 0, capsys.readouterr().out
+
+    def test_fail_on_warning_tightens_exit(self, capsys):
+        # PLAN005/RES003 warnings on osg: rc 0 normally, 1 under --fail-on
+        assert lint_main(["-n", "12", "--site", "osg"]) == 0
+        capsys.readouterr()
+        assert lint_main(
+            ["-n", "12", "--site", "osg", "--fail-on", "warning"]
+        ) == 1
+
+    def test_json_output_is_pure(self, capsys):
+        rc = lint_main(["-n", "5", "--site", "sandhills", "--format", "json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        json.loads(out)  # stdout is exactly one JSON document
+
+    def test_sarif_format_on_stdout(self, capsys):
+        rc = lint_main(["-n", "5", "--site", "sandhills",
+                        "--format", "sarif"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_sarif(doc) == []
+
+    def test_write_baseline_then_clean_run(self, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        rc = lint_main(
+            ["-n", "12", "--site", "osg", "--setup-mode", "never",
+             "--write-baseline", str(baseline)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        rc = lint_main(
+            ["-n", "12", "--site", "osg", "--setup-mode", "never",
+             "--baseline", str(baseline)]
+        )
+        assert rc == 0  # baseline-only findings exit 0
+
+    def test_pools_flag_drives_feasibility(self, tmp_path, capsys):
+        pools = tmp_path / "pools.json"
+        pools.write_text(json.dumps(NO_CAP3))
+        sarif_path = tmp_path / "out.sarif"
+        rc = lint_main(
+            ["-n", "12", "--site", "osg", "--setup-mode", "never",
+             "--pools", str(pools), "--sarif", str(sarif_path)]
+        )
+        assert rc == 1
+        assert "RES001" in capsys.readouterr().out
+        doc = json.loads(sarif_path.read_text())
+        assert validate_sarif(doc) == []
+
+
+class TestAcceptanceDoctoredPool:
+    """The issue's acceptance scenario, end to end."""
+
+    def _doctored_pools(self):
+        return pools_from_mapping(NO_CAP3, base=default_pools())
+
+    def test_res001_names_job_and_capability(self):
+        adag = build_blast2cap3_adag(12, model=PaperTaskModel())
+        sites, tc, rc = default_catalogs()
+        planned = plan(
+            adag, site_name="osg", sites=sites, transformations=tc,
+            replicas=rc,
+            options=PlannerOptions(setup_mode="never", lint="off"),
+        )
+        report = lint(adag, replicas=rc, planned=planned,
+                      pools={"osg": self._doctored_pools()["osg"]})
+        findings = report.by_rule("RES001")
+        assert len(findings) == 1
+        (f,) = findings
+        assert not report.ok
+        assert f.location.startswith("job:")
+        assert "has_cap3" in f.message  # the closest missing capability
+        # names at least one concrete doomed job
+        compute = set(planned.job_map.values())
+        assert any(name in f.message for name in sorted(compute))
+        doc = report_to_sarif(report)
+        assert validate_sarif(doc) == []
+        assert any(
+            r["ruleId"] == "RES001" for r in doc["runs"][0]["results"]
+        )
+
+    def test_plan_fail_fasts_on_doctored_pools(self):
+        adag = build_blast2cap3_adag(12, model=PaperTaskModel())
+        sites, tc, rc = default_catalogs()
+        with pytest.raises(LintFailure) as excinfo:
+            plan(
+                adag, site_name="osg", sites=sites, transformations=tc,
+                replicas=rc,
+                options=PlannerOptions(setup_mode="never"),
+                pools=self._doctored_pools(),
+            )
+        report = excinfo.value.report
+        assert report.by_rule("RES001")
+        assert "has_cap3" in str(excinfo.value)
+
+    def test_healthy_pools_plan_fine_with_setup(self):
+        adag = build_blast2cap3_adag(12, model=PaperTaskModel())
+        sites, tc, rc = default_catalogs()
+        planned = plan(
+            adag, site_name="osg", sites=sites, transformations=tc,
+            replicas=rc,
+        )
+        assert planned.lint_report is not None
+        assert planned.lint_report.ok
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))
