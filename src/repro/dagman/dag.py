@@ -143,17 +143,49 @@ class Dag:
                 raise KeyError(f"unknown job: {name!r}")
         if parent == child:
             raise ValueError("self-dependency")
-        self._children[parent].add(child)
-        self._parents[child].add(parent)
-        try:
-            topological_sort(self.jobs, self._children)
-        except CycleError as exc:
+        if child in self._children[parent]:
+            return  # already present: nothing to validate
+        # Incremental cycle check: the new edge closes a cycle iff
+        # ``parent`` is already reachable from ``child``. A DFS over
+        # the descendants of ``child`` is O(reachable set), not the
+        # O(V+E) full re-sort per edge this used to cost — which made
+        # building million-edge DAGs quadratic. Built in topological
+        # order (every generator here does), the check is O(out-degree).
+        if self._reaches(child, parent):
+            self._children[parent].add(child)
+            self._parents[child].add(parent)
+            try:
+                # Error path only: recover the full unorderable set so
+                # the exception's ``members`` matches the historical
+                # whole-graph diagnosis.
+                topological_sort(self.jobs, self._children)
+                members: tuple[str, ...] = ()
+            except CycleError as exc:
+                members = exc.members
             self._children[parent].discard(child)
             self._parents[child].discard(parent)
             raise CycleError(
                 f"edge {parent!r} -> {child!r} would create a cycle",
-                exc.members,
-            ) from None
+                members,
+            )
+        self._children[parent].add(child)
+        self._parents[child].add(parent)
+
+    def _reaches(self, source: str, target: str) -> bool:
+        """True when ``target`` is reachable from ``source`` via edges."""
+        if source == target:
+            return True
+        stack = [source]
+        seen = {source}
+        children = self._children
+        while stack:
+            for node in children[stack.pop()]:
+                if node == target:
+                    return True
+                if node not in seen:
+                    seen.add(node)
+                    stack.append(node)
+        return False
 
     # -- queries ------------------------------------------------------
 

@@ -23,10 +23,24 @@ execution environment (real or simulated):
 The scheduler is clock-agnostic: it reads time only through the
 environment, so the same code runs under the virtual clock and the real
 one.
+
+Scale: all per-completion work is incremental. Readiness is tracked
+with per-node *pending-parent counters* (decremented as each parent
+finishes) instead of rescanning parents, and the submit order comes
+from a persistent *ready heap* keyed ``(-priority, ready_seq)`` that a
+node is pushed onto exactly once per readiness transition — entries
+whose node has since left READY are lazily invalidated at pop time, and
+the heap is compacted when stale entries dominate. A completion
+therefore costs O(children + log n), not O(n log n), which is what lets
+million-job DAGs run in minutes (see ``bench_engine_throughput``). The
+pre-rewrite full-rescan implementation survives as
+:class:`repro.dagman.legacy.LegacyRescanScheduler`, the equivalence
+oracle the property tests pin this rewrite against.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from enum import Enum
 from pathlib import Path
@@ -156,6 +170,17 @@ class DagmanScheduler:
         self._in_flight = 0
         self._started = False
         self._start_time = 0.0
+        # Incremental ready-set state: a node is pushed exactly once per
+        # readiness transition; entries for nodes that left READY some
+        # other way (unrunnable cascade) are skipped lazily at pop time.
+        self._ready_heap: list[tuple[int, int, str]] = []
+        self._ready_count = 0
+        # Parents not yet DONE, per node; READY fires when this hits 0.
+        self._pending_parents: dict[str, int] = {}
+        # Children in sorted order, precomputed once at start() — the
+        # readiness FIFO tie-break must not depend on set hash order,
+        # and sorting per completion would be O(k log k) every time.
+        self._children_sorted: dict[str, tuple[str, ...]] = {}
 
     # -- public API -----------------------------------------------------
 
@@ -189,7 +214,9 @@ class DagmanScheduler:
             raise RuntimeError("scheduler already started")
         self._started = True
         self._start_time = self.environment.now
-        for name, job in self.dag.jobs.items():
+        dag = self.dag
+        pre_done = dag.done
+        for name, job in dag.jobs.items():
             retries = (
                 self.default_retries
                 if self.default_retries is not None
@@ -198,16 +225,27 @@ class DagmanScheduler:
             self._retries_left[name] = retries
             self._attempt[name] = 0
             self._failed_attempts[name] = 0
-            if name in self.dag.done:
+            if name in pre_done:
                 self.states[name] = NodeState.DONE
             else:
                 self.states[name] = NodeState.UNREADY
+        states = self.states
+        for name in dag.jobs:
+            self._children_sorted[name] = tuple(sorted(dag.children(name)))
+            self._pending_parents[name] = sum(
+                1
+                for p in dag.parents(name)
+                if states[p] is not NodeState.DONE
+            )
         self._emit(
             EventKind.WORKFLOW_START,
-            detail={"jobs": len(self.dag.jobs), "name": self.dag.name},
+            detail={"jobs": len(dag.jobs), "name": dag.name},
         )
-        for name in self.dag.jobs:
-            if self.states[name] is NodeState.UNREADY and self._parents_done(name):
+        for name in dag.jobs:
+            if (
+                states[name] is NodeState.UNREADY
+                and self._pending_parents[name] == 0
+            ):
                 self._set_state(name, NodeState.READY)
         self._submit_ready()
 
@@ -266,9 +304,19 @@ class DagmanScheduler:
         if state is NodeState.READY:
             # Readiness order is the FIFO tie-break within a priority
             # class, so retried jobs queue behind equal-priority nodes
-            # already waiting on the max_jobs throttle.
-            self._ready_seq[name] = self._seq
-            self._seq += 1
+            # already waiting on the max_jobs throttle. Each readiness
+            # transition pushes exactly one heap entry; the seq doubles
+            # as the entry's validity token.
+            seq = self._seq
+            self._ready_seq[name] = seq
+            self._seq = seq + 1
+            self._ready_count += 1
+            heapq.heappush(
+                self._ready_heap,
+                (-self.dag.jobs[name].priority, seq, name),
+            )
+        if previous is NodeState.READY and state is not NodeState.READY:
+            self._ready_count -= 1
         if state is not previous:
             self._emit(
                 EventKind.STATE_CHANGE,
@@ -277,26 +325,54 @@ class DagmanScheduler:
                 detail={"from": previous.value, "to": state.value},
             )
 
-    def _parents_done(self, name: str) -> bool:
-        return all(
-            self.states[p] is NodeState.DONE for p in self.dag.parents(name)
-        )
-
     def _submit_ready(self) -> None:
-        ready = [
-            n for n, s in self.states.items() if s is NodeState.READY
-        ]
-        # Highest priority first; readiness order (FIFO) breaks ties.
-        ready.sort(
-            key=lambda n: (
-                -self.dag.jobs[n].priority,
-                self._ready_seq.get(n, 0),
-            )
-        )
-        for name in ready:
-            if self.max_jobs is not None and self._in_flight >= self.max_jobs:
-                return
+        """Submit ready nodes, highest priority first (FIFO in a class).
+
+        Pops the persistent ready heap. Every pop re-checks that the
+        node is *still* READY under the seq it was pushed with — a
+        reentrant state change during submission (a synchronous
+        ``on_complete``, a HELD release) must not double-submit a node
+        whose state already moved on, and nodes swept into UNRUNNABLE
+        leave stale entries behind by design.
+        """
+        heap = self._ready_heap
+        states = self.states
+        ready_seq = self._ready_seq
+        max_jobs = self.max_jobs
+        while heap:
+            if max_jobs is not None and self._in_flight >= max_jobs:
+                break
+            entry = heap[0]
+            name = entry[2]
+            if (
+                states[name] is not NodeState.READY
+                or ready_seq[name] != entry[1]
+            ):
+                heapq.heappop(heap)  # stale: lazy invalidation
+                continue
+            heapq.heappop(heap)
             self._submit(name)
+        self._compact_ready_heap()
+
+    def _compact_ready_heap(self) -> None:
+        """Rebuild the ready heap when stale entries dominate.
+
+        Unrunnable cascades can orphan many entries at once; compaction
+        keeps heap size O(ready nodes) amortised. In place, because
+        reentrant ``_submit_ready`` frames hold a reference to the list.
+        """
+        heap = self._ready_heap
+        if len(heap) < 64 or len(heap) <= 2 * self._ready_count:
+            return
+        states = self.states
+        ready_seq = self._ready_seq
+        heap[:] = [
+            entry
+            for entry in heap
+            if states[entry[2]] is NodeState.READY
+            and ready_seq[entry[2]] == entry[1]
+        ]
+        heapq.heapify(heap)
 
     def _submit(self, name: str) -> None:
         self._set_state(name, NodeState.SUBMITTED)
@@ -322,25 +398,40 @@ class DagmanScheduler:
         if attempt.status.is_success:
             self._failed_attempts[name] = 0
             self._set_state(name, NodeState.DONE)
-            # Sorted: children() is a set, and readiness order is the
-            # FIFO tie-break — iterating in hash order would make run
-            # outcomes depend on PYTHONHASHSEED.
-            for child in sorted(self.dag.children(name)):
-                if (
-                    self.states[child] is NodeState.UNREADY
-                    and self._parents_done(child)
-                ):
+            # Children in sorted order: readiness order is the FIFO
+            # tie-break — hash order would make run outcomes depend on
+            # PYTHONHASHSEED. A parent finishes (goes DONE) exactly
+            # once, so each child's pending counter is decremented
+            # exactly once per parent.
+            pending = self._pending_parents
+            states = self.states
+            for child in self._children_sorted[name]:
+                remaining = pending[child] - 1
+                pending[child] = remaining
+                if remaining == 0 and states[child] is NodeState.UNREADY:
                     self._set_state(child, NodeState.READY)
-        elif self._may_retry(name, attempt):
-            self._requeue(name, attempt)
         else:
-            self._set_state(name, NodeState.FAILED)
-            self._mark_descendants_unrunnable(name)
+            # Accounting happens here, once per completed attempt —
+            # never inside _may_retry, which callers must be able to
+            # evaluate any number of times without burning retry budget.
+            self._failed_attempts[name] += 1
+            if self._may_retry(name, attempt):
+                self._requeue(name, attempt)
+            else:
+                self._set_state(name, NodeState.FAILED)
+                self._mark_descendants_unrunnable(name)
         self._submit_ready()
 
     def _may_retry(self, name: str, attempt: JobAttempt) -> bool:
+        """Pure predicate: would DAGMan requeue this failed attempt?
+
+        Reads the failure count :meth:`_handle_completion` maintains;
+        calling it repeatedly for the same completion returns the same
+        answer (regression-pinned — the old version incremented the
+        counter as a side effect, so a second call silently burned
+        retry-policy budget).
+        """
         policy = self.retry_policy
-        self._failed_attempts[name] += 1
         if (
             policy is not None
             and policy.budget is not None
@@ -405,12 +496,12 @@ class DagmanScheduler:
             self._set_state(name, NodeState.READY)
 
     def _mark_descendants_unrunnable(self, name: str) -> None:
-        stack = sorted(self.dag.children(name))
+        stack = list(self._children_sorted[name])
         while stack:
             node = stack.pop()
             if self.states[node] in (NodeState.UNREADY, NodeState.READY):
                 self._set_state(node, NodeState.UNRUNNABLE)
-                stack.extend(sorted(self.dag.children(node)))
+                stack.extend(self._children_sorted[node])
 
     @property
     def attempt_number(self) -> dict[str, int]:

@@ -385,6 +385,10 @@ _METRIC_PATHS: dict[str, tuple[str, ...]] = {
     "kickstart_max": ("kickstart", "max"),
     "cpu_s": ("profile", "cpu_user_s"),
     "peak_rss_kb": ("profile", "peak_rss_kb"),
+    # Engine/scheduler throughput (bench_engine_throughput): costs, not
+    # rates, so "higher is worse" holds like every other metric here.
+    "engine_us_per_event": ("engine", "us_per_event"),
+    "engine_us_per_job": ("engine", "us_per_job"),
 }
 
 

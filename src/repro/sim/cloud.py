@@ -195,9 +195,10 @@ class CloudPlatform:
 
     def _emit(self, kind: EventKind, job: DagJob, attempt: int,
               instance: _Instance) -> None:
-        if self.bus is None:
-            return
-        self.bus.emit(
+        bus = self.bus
+        if bus is None or not bus.active:
+            return  # deaf bus: skip event construction entirely
+        bus.emit(
             RunEvent(
                 kind,
                 self.simulator.now,
@@ -349,9 +350,11 @@ class CloudPlatform:
             instance.terminated_at = self.now
         else:
             self._park(instance)
-        if self.bus is not None:
+        bus = self.bus
+        if bus is not None and bus.active:
+            batch = []
             if status is JobStatus.TIMEOUT:
-                self.bus.emit(
+                batch.append(
                     RunEvent(
                         EventKind.TIMEOUT,
                         self.now,
@@ -368,7 +371,7 @@ class CloudPlatform:
                 if status is JobStatus.EVICTED
                 else EventKind.FINISH
             )
-            self.bus.emit(
+            batch.append(
                 RunEvent(
                     kind,
                     self.now,
@@ -381,6 +384,7 @@ class CloudPlatform:
                     detail={"status": record.status.value},
                 )
             )
+            bus.emit_batch(batch)
         on_complete(record)
         self._dispatch()
 

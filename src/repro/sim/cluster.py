@@ -154,9 +154,10 @@ class CampusCluster:
 
     def _emit(self, kind: EventKind, job: DagJob, attempt: int,
               machine: MachineSpec) -> None:
-        if self.bus is None:
-            return
-        self.bus.emit(
+        bus = self.bus
+        if bus is None or not bus.active:
+            return  # deaf bus: skip event construction entirely
+        bus.emit(
             RunEvent(
                 kind,
                 self.simulator.now,
@@ -309,9 +310,11 @@ class CampusCluster:
         self._busy -= 1
         if status is JobStatus.SUCCEEDED and self.blacklist is not None:
             self.blacklist.record_success(machine.name, self.config.name)
-        if self.bus is not None:
+        bus = self.bus
+        if bus is not None and bus.active:
+            batch = []
             if status is JobStatus.TIMEOUT:
-                self.bus.emit(
+                batch.append(
                     RunEvent(
                         EventKind.TIMEOUT,
                         self.now,
@@ -328,7 +331,7 @@ class CampusCluster:
                 if status is JobStatus.EVICTED
                 else EventKind.FINISH
             )
-            self.bus.emit(
+            batch.append(
                 RunEvent(
                     kind,
                     self.now,
@@ -341,5 +344,6 @@ class CampusCluster:
                     detail={"status": record.status.value},
                 )
             )
+            bus.emit_batch(batch)
         on_complete(record)
         self._dispatch()

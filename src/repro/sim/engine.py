@@ -6,27 +6,48 @@ starts, completions, evictions) as events; DAGMan reacts inside the
 callbacks by scheduling more. Determinism is guaranteed by a
 monotonically increasing tie-break sequence number — two events at the
 same virtual time fire in scheduling order.
+
+The engine is sized for million-event runs: :class:`Event` is a
+``__slots__`` object (no per-event ``__dict__``), the heap stores
+``(time, seq, event)`` tuples so ordering is C-speed tuple comparison
+rather than attribute lookups, and cancelled entries are counted (and
+the heap compacted when they dominate) so ``pending`` stays O(1).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 __all__ = ["Event", "Simulator"]
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback; orderable by (time, seq)."""
+    """A scheduled callback; orderable by (time, seq).
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    owner: "Simulator | None" = field(default=None, compare=False, repr=False)
+    Lifecycle: *pending* → exactly one of *fired* (its callback ran) or
+    *cancelled*. :meth:`cancel` after the event has fired is a no-op —
+    the watchdog-timeout-races-completion pattern cancels completions
+    that may have just run, and a late cancel must not skew the owning
+    simulator's cancelled-entry accounting (``pending`` would undercount
+    and compaction would reset the counter wrongly).
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "fired", "owner")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        owner: "Simulator | None" = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        self.fired = False
+        self.owner = owner
 
     def cancel(self) -> None:
         """Prevent the callback from firing.
@@ -34,12 +55,25 @@ class Event:
         The heap entry remains until the owning simulator reaches or
         compacts it; the simulator keeps a count of cancelled entries so
         ``pending`` stays O(1) and heavily-cancelled heaps get rebuilt.
+        Cancelling an event that already fired (or was already
+        cancelled) is a no-op.
         """
-        if self.cancelled:
+        if self.cancelled or self.fired:
             return
         self.cancelled = True
         if self.owner is not None:
             self.owner._note_cancel()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "fired" if self.fired
+            else "cancelled" if self.cancelled
+            else "pending"
+        )
+        return f"Event(time={self.time}, seq={self.seq}, {state})"
 
 
 class Simulator:
@@ -60,8 +94,8 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = start_time
-        self._queue: list[Event] = []
-        self._seq = itertools.count()
+        self._queue: list[tuple[float, int, Event]] = []
+        self._seq = 0
         self._processed = 0
         self._cancelled = 0
 
@@ -92,10 +126,10 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past: {time} < now {self._now}"
             )
-        event = Event(
-            time=time, seq=next(self._seq), callback=callback, owner=self
-        )
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time, seq, callback, owner=self)
+        heapq.heappush(self._queue, (time, seq, event))
         return event
 
     def _note_cancel(self) -> None:
@@ -104,18 +138,23 @@ class Simulator:
             self._cancelled >= self._COMPACT_MIN
             and self._cancelled * 2 > len(self._queue)
         ):
-            self._queue = [e for e in self._queue if not e.cancelled]
+            # In place: run() loops hold a reference to this list.
+            self._queue[:] = [
+                entry for entry in self._queue if not entry[2].cancelled
+            ]
             heapq.heapify(self._queue)
             self._cancelled = 0
 
     def step(self) -> bool:
         """Fire the next event; returns False when the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            time, _seq, event = heapq.heappop(queue)
             if event.cancelled:
                 self._cancelled -= 1
                 continue
-            self._now = event.time
+            event.fired = True
+            self._now = time
             self._processed += 1
             event.callback()
             return True
@@ -129,18 +168,32 @@ class Simulator:
         including when the queue drains *before* the horizon — so
         ``run(until=t)`` leaves ``now == t`` unless an error aborts it.
         """
+        queue = self._queue
+        if until is None and max_events is None:
+            # Hot path: drain everything, no per-iteration checks.
+            pop = heapq.heappop
+            while queue:
+                time, _seq, event = pop(queue)
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                event.fired = True
+                self._now = time
+                self._processed += 1
+                event.callback()
+            return
         fired = 0
-        while self._queue:
+        while queue:
             if max_events is not None and fired >= max_events:
                 raise RuntimeError(
                     f"simulation exceeded max_events={max_events}"
                 )
-            next_event = self._queue[0]
+            next_time, _seq, next_event = queue[0]
             if next_event.cancelled:
-                heapq.heappop(self._queue)
+                heapq.heappop(queue)
                 self._cancelled -= 1
                 continue
-            if until is not None and next_event.time > until:
+            if until is not None and next_time > until:
                 self._now = until
                 return
             if not self.step():

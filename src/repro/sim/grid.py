@@ -263,9 +263,10 @@ class OpportunisticGrid:
 
     def _emit(self, kind: EventKind, job: DagJob, attempt: int,
               machine: MachineSpec) -> None:
-        if self.bus is None:
-            return
-        self.bus.emit(
+        bus = self.bus
+        if bus is None or not bus.active:
+            return  # deaf bus: skip event construction entirely
+        bus.emit(
             RunEvent(
                 kind,
                 self.simulator.now,
@@ -277,27 +278,29 @@ class OpportunisticGrid:
             )
         )
 
-    def _emit_terminal(self, record: JobAttempt) -> None:
-        if self.bus is None:
-            return
+    def _terminal_event(self, record: JobAttempt) -> RunEvent:
         kind = (
             EventKind.EVICT
             if record.status is JobStatus.EVICTED
             else EventKind.FINISH
         )
-        self.bus.emit(
-            RunEvent(
-                kind,
-                self.simulator.now,
-                job_name=record.job_name,
-                transformation=record.transformation,
-                site=record.site,
-                machine=record.machine,
-                attempt=record.attempt,
-                record=record,
-                detail={"status": record.status.value},
-            )
+        return RunEvent(
+            kind,
+            self.simulator.now,
+            job_name=record.job_name,
+            transformation=record.transformation,
+            site=record.site,
+            machine=record.machine,
+            attempt=record.attempt,
+            record=record,
+            detail={"status": record.status.value},
         )
+
+    def _emit_terminal(self, record: JobAttempt) -> None:
+        bus = self.bus
+        if bus is None or not bus.active:
+            return
+        bus.emit(self._terminal_event(record))
 
     def _matchable_at_all(self, job: DagJob) -> bool:
         ad = self._job_ad(job)
@@ -529,8 +532,12 @@ class OpportunisticGrid:
         )
         if status is JobStatus.SUCCEEDED and self.blacklist is not None:
             self.blacklist.record_success(machine.name, machine.site)
-        if status is JobStatus.TIMEOUT and self.bus is not None:
-            self.bus.emit(
+        bus = self.bus
+        if status is JobStatus.TIMEOUT and bus is not None and bus.active:
+            # Emitted before _release: the redispatch a release triggers
+            # emits its own MATCH events, and the timeout must precede
+            # them on the stream (order is part of the bus contract).
+            bus.emit(
                 RunEvent(
                     EventKind.TIMEOUT,
                     self.now,

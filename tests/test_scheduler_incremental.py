@@ -1,0 +1,392 @@
+"""The incremental scheduler rewrite, pinned against the legacy oracle.
+
+The rewrite (persistent ready heap + pending-parent counters, see
+``repro.dagman.scheduler``) claims *bit-identical behaviour* to the
+pre-rewrite full-rescan loop preserved as
+:class:`repro.dagman.legacy.LegacyRescanScheduler`. The hypothesis
+properties here enforce that claim: arbitrary DAGs (width, depth,
+priorities, retries, throttles, scripted failures) run through both
+implementations on a scripted environment and on all three simulated
+platforms, and the traces, bus event streams, final states, and wall
+times must match exactly.
+
+The rest of the module is regression tests for the three hot-path bugs
+fixed alongside the rewrite:
+
+* ``_submit_ready`` double-submitting under a reentrant (synchronous)
+  ``on_complete``;
+* ``_may_retry`` burning retry-policy budget as a side effect of being
+  *asked*;
+* (the engine-side fire-then-cancel bug lives in
+  ``test_timing_regressions.py`` next to the other clock tests).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dagman.dag import Dag, DagJob
+from repro.dagman.events import JobAttempt, JobStatus
+from repro.dagman.legacy import LegacyRescanScheduler
+from repro.dagman.scheduler import DagmanScheduler, NodeState
+from repro.observe.bus import EventBus, EventRecorder
+from repro.resilience.retry import FixedDelayRetry, RetryPolicy
+from repro.sim.cloud import CloudPlatform
+from repro.sim.cluster import CampusCluster, CampusClusterConfig
+from repro.sim.engine import Simulator
+from repro.sim.grid import GridConfig, OpportunisticGrid
+from repro.sim.rng import RngStreams
+
+
+# ---------------------------------------------------------------------------
+# Scripted environment (same shape as test_dagman_properties)
+# ---------------------------------------------------------------------------
+
+
+class ScriptedEnvironment:
+    """Simulator-backed environment failing scripted (job, attempt) pairs."""
+
+    def __init__(self, failures: set[tuple[str, int]]):
+        self.sim = Simulator()
+        self.failures = failures
+        self.submissions: list[tuple[str, int]] = []
+
+    @property
+    def now(self):
+        return self.sim.now
+
+    def call_later(self, delay_s, fn):
+        self.sim.schedule(delay_s, fn)
+
+    def submit(self, job, on_complete, *, attempt=1):
+        self.submissions.append((job.name, attempt))
+        submit_time = self.now
+
+        def finish():
+            failed = (job.name, attempt) in self.failures
+            on_complete(
+                JobAttempt(
+                    job_name=job.name,
+                    transformation=job.transformation,
+                    site="scripted",
+                    machine="m",
+                    attempt=attempt,
+                    submit_time=submit_time,
+                    setup_start=submit_time,
+                    exec_start=submit_time,
+                    exec_end=self.now,
+                    status=JobStatus.FAILED if failed else JobStatus.SUCCEEDED,
+                )
+            )
+
+        self.sim.schedule(job.runtime, finish)
+
+    def run_until_complete(self):
+        self.sim.run()
+
+
+# ---------------------------------------------------------------------------
+# DAG strategy: width, depth, priorities, retries, faults, throttles
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def dag_case(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    names = [f"n{i}" for i in range(n)]
+    dag = Dag(name="eq")
+    for name in names:
+        dag.add_job(
+            DagJob(
+                name=name,
+                transformation=draw(st.sampled_from(["blast", "cap3"])),
+                runtime=draw(st.integers(min_value=1, max_value=60)),
+                priority=draw(st.integers(min_value=-2, max_value=2)),
+                needs_setup=draw(st.booleans()),
+            )
+        )
+    # i -> j with i < j keeps it acyclic by construction.
+    for i in range(n):
+        for j in range(i + 1, n):
+            if draw(st.integers(0, 3)) == 0:
+                dag.add_edge(names[i], names[j])
+    retries = draw(st.integers(min_value=0, max_value=2))
+    failures = set()
+    for name in names:
+        for attempt in range(1, retries + 2):
+            if draw(st.integers(0, 4)) == 0:
+                failures.add((name, attempt))
+    max_jobs = draw(st.one_of(st.none(), st.integers(1, 3)))
+    policy = draw(
+        st.sampled_from(
+            [
+                None,
+                FixedDelayRetry(45.0, charge_evictions=False),
+                RetryPolicy(budget=1),
+            ]
+        )
+    )
+    return dag, failures, retries, max_jobs, policy
+
+
+def _run(scheduler_cls, dag, env_factory, *, max_jobs, retries, policy):
+    bus = EventBus()
+    recorder = EventRecorder(bus)
+    env = env_factory(bus)
+    scheduler = scheduler_cls(
+        dag,
+        env,
+        max_jobs=max_jobs,
+        default_retries=retries,
+        bus=bus,
+        retry_policy=policy,
+    )
+    result = scheduler.run()
+    return result, recorder.events
+
+
+def _assert_equivalent(new, legacy):
+    new_result, new_events = new
+    legacy_result, legacy_events = legacy
+    assert new_result.states == legacy_result.states
+    assert new_result.success == legacy_result.success
+    assert new_result.wall_time == legacy_result.wall_time
+    assert new_result.trace.attempts == legacy_result.trace.attempts
+    assert new_events == legacy_events
+
+
+@given(dag_case())
+@settings(max_examples=100, deadline=None)
+def test_equivalent_on_scripted_environment(case):
+    dag, failures, retries, max_jobs, policy = case
+    _assert_equivalent(
+        _run(
+            DagmanScheduler,
+            dag,
+            lambda bus: ScriptedEnvironment(failures),
+            max_jobs=max_jobs,
+            retries=retries,
+            policy=policy,
+        ),
+        _run(
+            LegacyRescanScheduler,
+            dag,
+            lambda bus: ScriptedEnvironment(failures),
+            max_jobs=max_jobs,
+            retries=retries,
+            policy=policy,
+        ),
+    )
+
+
+def _cluster_factory(seed):
+    def factory(bus):
+        return CampusCluster(
+            Simulator(),
+            CampusClusterConfig(group_slots=4),
+            streams=RngStreams(seed=seed),
+            bus=bus,
+        )
+
+    return factory
+
+
+def _grid_factory(seed):
+    def factory(bus):
+        # Defaults include start failures and evictions, so this also
+        # exercises requeues and the eviction accounting paths.
+        return OpportunisticGrid(
+            Simulator(), GridConfig(), streams=RngStreams(seed=seed), bus=bus
+        )
+
+    return factory
+
+
+def _cloud_factory(seed):
+    def factory(bus):
+        return CloudPlatform(
+            Simulator(), streams=RngStreams(seed=seed), bus=bus
+        )
+
+    return factory
+
+
+@given(dag_case(), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=25, deadline=None)
+def test_equivalent_on_campus_cluster(case, seed):
+    dag, _failures, retries, max_jobs, policy = case
+    factory = _cluster_factory(seed)
+    _assert_equivalent(
+        _run(DagmanScheduler, dag, factory,
+             max_jobs=max_jobs, retries=retries, policy=policy),
+        _run(LegacyRescanScheduler, dag, factory,
+             max_jobs=max_jobs, retries=retries, policy=policy),
+    )
+
+
+@given(dag_case(), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=25, deadline=None)
+def test_equivalent_on_opportunistic_grid(case, seed):
+    dag, _failures, retries, max_jobs, policy = case
+    factory = _grid_factory(seed)
+    _assert_equivalent(
+        _run(DagmanScheduler, dag, factory,
+             max_jobs=max_jobs, retries=retries, policy=policy),
+        _run(LegacyRescanScheduler, dag, factory,
+             max_jobs=max_jobs, retries=retries, policy=policy),
+    )
+
+
+@given(dag_case(), st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=25, deadline=None)
+def test_equivalent_on_cloud(case, seed):
+    dag, _failures, retries, max_jobs, policy = case
+    factory = _cloud_factory(seed)
+    _assert_equivalent(
+        _run(DagmanScheduler, dag, factory,
+             max_jobs=max_jobs, retries=retries, policy=policy),
+        _run(LegacyRescanScheduler, dag, factory,
+             max_jobs=max_jobs, retries=retries, policy=policy),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Regression: reentrant on_complete must not double-submit
+# ---------------------------------------------------------------------------
+
+
+class SynchronousEnvironment:
+    """Completes every attempt *inside* ``submit`` — the pathological
+    reentrancy: ``on_complete`` runs ``_handle_completion`` (and a
+    nested ``_submit_ready``) while the outer ``_submit_ready`` is
+    still iterating its view of the ready set."""
+
+    def __init__(self, failures: set[tuple[str, int]] | None = None):
+        self.failures = failures or set()
+        self.submissions: list[tuple[str, int]] = []
+
+    @property
+    def now(self):
+        return 0.0
+
+    def submit(self, job, on_complete, *, attempt=1):
+        self.submissions.append((job.name, attempt))
+        failed = (job.name, attempt) in self.failures
+        on_complete(
+            JobAttempt(
+                job_name=job.name,
+                transformation=job.transformation,
+                site="sync",
+                machine="m",
+                attempt=attempt,
+                submit_time=0.0,
+                setup_start=0.0,
+                exec_start=0.0,
+                exec_end=0.0,
+                status=JobStatus.FAILED if failed else JobStatus.SUCCEEDED,
+            )
+        )
+
+    def run_until_complete(self):
+        pass
+
+
+def _parallel_dag(n=4):
+    dag = Dag(name="sync")
+    for i in range(n):
+        dag.add_job(DagJob(name=f"p{i}", transformation="t"))
+    return dag
+
+
+def test_no_double_submit_under_synchronous_completion():
+    env = SynchronousEnvironment()
+    result = DagmanScheduler(_parallel_dag(), env).run()
+    assert result.success
+    assert sorted(env.submissions) == [(f"p{i}", 1) for i in range(4)]
+
+
+def test_synchronous_completion_with_failures_and_retries():
+    env = SynchronousEnvironment(failures={("p1", 1), ("p2", 1), ("p2", 2)})
+    result = DagmanScheduler(_parallel_dag(), env, default_retries=1).run()
+    assert not result.success
+    assert result.states["p1"] is NodeState.DONE
+    assert result.states["p2"] is NodeState.FAILED
+    # Exactly the allowed attempts, each submitted once.
+    assert sorted(env.submissions) == [
+        ("p0", 1), ("p1", 1), ("p1", 2), ("p2", 1), ("p2", 2), ("p3", 1),
+    ]
+
+
+def test_legacy_oracle_preserves_the_double_submit_bug():
+    """The oracle must stay bug-for-bug: its ``_submit_ready`` iterates
+    a stale snapshot, so a synchronous completion re-submits an
+    already-finished node."""
+    env = SynchronousEnvironment()
+    dag = _parallel_dag(2)
+    LegacyRescanScheduler(dag, env).run()
+    assert ("p1", 2) in env.submissions  # the historical double submit
+
+
+# ---------------------------------------------------------------------------
+# Regression: _may_retry must be a pure predicate
+# ---------------------------------------------------------------------------
+
+
+def _failed_attempt(name, attempt=1):
+    return JobAttempt(
+        job_name=name,
+        transformation="t",
+        site="s",
+        machine="m",
+        attempt=attempt,
+        submit_time=0.0,
+        setup_start=0.0,
+        exec_start=0.0,
+        exec_end=0.0,
+        status=JobStatus.FAILED,
+    )
+
+
+def test_scales_without_rescans():
+    """A few thousand jobs complete near-instantly; the legacy rescan
+    loop made this size visibly quadratic. (The 10k/100k/1M tiers live
+    in ``benchmarks/bench_engine_throughput.py``.)"""
+    n, width = 3000, 50
+    dag = Dag(name="scale")
+    names = [f"s{i:05d}" for i in range(n)]
+    for i, name in enumerate(names):
+        dag.add_job(
+            DagJob(name=name, transformation="t", runtime=1.0,
+                   priority=i % 3)
+        )
+    for i in range(width, n):
+        dag.add_edge(names[i - width], names[i])
+    env = ScriptedEnvironment(failures=set())
+    scheduler = DagmanScheduler(dag, env, max_jobs=width)
+    result = scheduler.run()
+    assert result.success
+    assert len(result.trace) == n
+    # Every heap entry was consumed exactly once: nothing left over,
+    # nothing resubmitted.
+    assert scheduler._ready_heap == []
+    assert sorted(env.submissions) == [(name, 1) for name in names]
+
+
+def test_may_retry_is_pure():
+    dag = Dag()
+    dag.add_job(DagJob(name="j", transformation="t", retries=5))
+    scheduler = DagmanScheduler(
+        dag,
+        SynchronousEnvironment(failures={("j", a) for a in range(1, 10)}),
+        retry_policy=RetryPolicy(budget=2),
+    )
+    scheduler.start()
+    scheduler.environment.run_until_complete()
+    # The budget capped requeues at 2 (attempts at 3) even though the
+    # RETRY budget allowed 5.
+    assert scheduler.states["j"] is NodeState.FAILED
+    assert len(scheduler.trace.for_job("j")) == 3
+    # Asking again (and again) must not change the answer or the count.
+    before = dict(scheduler._failed_attempts)
+    first = scheduler._may_retry("j", _failed_attempt("j", 3))
+    second = scheduler._may_retry("j", _failed_attempt("j", 3))
+    assert first == second
+    assert scheduler._failed_attempts == before

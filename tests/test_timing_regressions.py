@@ -113,6 +113,62 @@ class TestCancelledEventCompaction:
         assert keep.time == 2.0
 
 
+class TestCancelAfterFire:
+    """Cancelling an event that already fired must be a no-op.
+
+    Regression: ``cancel()`` used to increment the cancelled-entry
+    counter unconditionally, so the watchdog pattern (a timeout event
+    cancelling a completion event — or vice versa — after the race was
+    already decided) drove ``pending`` negative and corrupted the
+    compaction accounting.
+    """
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.pending == 0
+        event.cancel()
+        assert sim.pending == 0
+        assert event.fired
+        assert not event.cancelled
+
+    def test_watchdog_losing_the_race_keeps_pending_consistent(self):
+        sim = Simulator()
+        outcomes = []
+        completion = sim.schedule(1.0, lambda: outcomes.append("done"))
+
+        def watchdog():
+            completion.cancel()  # too late: completion fired at t=1
+            outcomes.append("timeout")
+
+        sim.schedule(2.0, watchdog)
+        follow_up = sim.schedule(3.0, lambda: outcomes.append("late"))
+        sim.run(until=2.5)
+        assert outcomes == ["done", "timeout"]
+        assert sim.pending == 1  # exactly the follow-up, not 0 or 2
+        sim.run()
+        assert outcomes == ["done", "timeout", "late"]
+        assert sim.pending == 0
+        assert not follow_up.cancelled
+
+    def test_mass_post_fire_cancels_do_not_trigger_compaction(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        sim.run()
+        for event in events:
+            event.cancel()
+            event.cancel()
+        assert sim.pending == 0
+        assert sim._cancelled == 0
+        live = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for event in live[:5]:
+            event.cancel()
+        assert sim.pending == 5
+        sim.run()
+        assert sim.pending == 0
+
+
 class TestGridPeakBusyAtArrival:
     def grid(self, **config_kwargs):
         sim = Simulator()
