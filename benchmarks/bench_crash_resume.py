@@ -1,0 +1,284 @@
+"""Write-ahead journal costs: logging overhead and resume latency.
+
+The durability layer (``repro.resilience.journal``) claims a journaled
+run pays a small, bounded tax over plain event logging, and that
+recovery replays a crashed journal fast enough to make kill-anywhere
+resume routine. This bench turns both claims into numbers and a CI
+gate:
+
+* **overhead** — a synthetic layered DAG at n=10k runs through the
+  incremental scheduler with the observer stack ``repro-run`` always
+  attaches (``EventRecorder``, ``instrument`` metrics,
+  ``EventLogWriter``) plus the write-ahead journal (batch fsync, the
+  default). The journal's marginal cost must stay < 15% of what the
+  same run costs without it;
+* **resume replay** — the same run is crashed (journal abandoned
+  without its final compacting snapshot), then :func:`recover` replays
+  the full WAL; the cost lands as milliseconds per 1k records;
+* **regression gate** — both numbers land in
+  ``crash_resume_report.json``; CI compares against the committed
+  ``baseline_crash_resume.json`` via ``repro-report compare
+  --fail-on`` (costs, so "higher is worse" matches the tooling).
+
+**How the overhead is measured.** Naive A/B wall-clock (one run with
+the journal, one without) is hopeless on a shared CI box: observed
+run-to-run swings here exceed +/-25% — frequency scaling and noisy
+neighbours move *both* configurations by more than the quantity being
+measured, and no min/median estimator over affordable repeats recovers
+a 15% gate from that. Instead the bench measures the journal's cost
+*inside a single journaled run*: marker subscribers registered
+immediately before and after the journal on the same bus (with the
+same kind filters) bracket exactly the journal's callback work, and
+the overhead is ``bracketed / (total - bracketed)`` — numerator and
+denominator come from the same run, so box-speed noise cancels out of
+the ratio. Across repeats this estimate is stable to well under a
+point where A/B wall-clock swings by twenty.
+
+The pre-marker warms the one-slot serialization memo
+(:func:`serialize_event`) before starting its stopwatch, which charges
+event flatten+serialize time to the baseline side — correctly so: the
+event log writer pays that cost in a journal-less run and hits the
+memo in a journaled one, so it is shared infrastructure, not journal
+overhead. The bracket excludes the bus's dispatch bookkeeping for the
+journal's subscriptions (a kind-filter check per event) and the
+journal's state-change filter callback (a dict lookup that only does
+real work on a permanent-failure transition, where it falls through to
+the bracketed durable path) — together well under 1% here, against
+several points of gate margin. Each bracketed interval *includes* the
+markers' own clock reads and dispatch hops, so the measurement errs
+against the journal, the right direction for a gate.
+
+Timed runs pause GC (both the measured region and the informational
+plain run, as ``timeit`` does) and put workdirs on ``/dev/shm`` when
+it exists: fsync latency on a shared disk swings two orders of
+magnitude with unrelated load, and a regression *gate* has to track
+the journal's deterministic write-path cost, not the disk's mood.
+"""
+
+import gc
+import json
+import os
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from bench_engine_throughput import WIDTH, layered_dag
+from conftest import RESULTS_DIR, update_bench_report, write_result
+
+from repro.dagman.events import JobAttempt, JobStatus
+from repro.dagman.scheduler import DagmanScheduler
+from repro.observe.bus import EventBus, EventRecorder
+from repro.observe.events import attempt_events
+from repro.observe.log import EventLogWriter, serialize_event
+from repro.observe.metrics import instrument
+from repro.resilience.journal import DURABLE_KINDS, Journal, recover
+from repro.sim.engine import Simulator
+
+N = int(os.environ.get("REPRO_BENCH_CRASH_N", "10000"))
+REPEATS = 3
+MAX_OVERHEAD_PCT = 15.0
+SHM = Path("/dev/shm")
+WORK_ROOT = str(SHM) if SHM.is_dir() and os.access(SHM, os.W_OK) else None
+
+#: The kinds the markers bracket: the journal's durable subscription,
+#: where all its per-record work happens. (Its state-change filter
+#: callback is excluded — see the module docstring.)
+JOURNAL_KINDS = frozenset(DURABLE_KINDS)
+
+
+class BusEnvironment:
+    """Like the engine bench's FastEnvironment, but honest about the
+    event stream: terminal events go over the bus (the way every real
+    backend delivers them), so the journal sees what it would see in
+    production."""
+
+    def __init__(self, bus: EventBus) -> None:
+        self.sim = Simulator()
+        self.bus = bus
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def submit(self, job, on_complete, *, attempt=1):
+        submit_time = self.sim.now
+
+        def finish() -> None:
+            record = JobAttempt(
+                job_name=job.name,
+                transformation=job.transformation,
+                site="bench",
+                machine="m",
+                attempt=attempt,
+                submit_time=submit_time,
+                setup_start=submit_time,
+                exec_start=submit_time,
+                exec_end=self.sim.now,
+                status=JobStatus.SUCCEEDED,
+            )
+            for event in attempt_events(record):
+                self.bus.emit(event)
+            on_complete(record)
+
+        self.sim.schedule(job.runtime, finish)
+
+    def run_until_complete(self) -> None:
+        self.sim.run()
+
+
+def _observed_run(dag, workdir: Path, *, journal: bool,
+                  snapshot_every: int = 1000) -> float:
+    """One run with the standard observer stack; returns wall seconds.
+
+    With ``journal=True`` the journal is abandoned crash-style (flushed
+    WAL, no compacting close) so the replay measurement has the full
+    record stream to chew on.
+    """
+    bus = EventBus()
+    EventRecorder(bus)
+    instrument(bus)
+    jr = (
+        Journal(workdir / "journal", bus=bus, snapshot_every=snapshot_every)
+        if journal
+        else None
+    )
+    env = BusEnvironment(bus)
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        with EventLogWriter(workdir / "events.jsonl", bus):
+            result = DagmanScheduler(
+                dag, env, max_jobs=WIDTH * 2, bus=bus
+            ).run()
+        if jr is not None:
+            jr._fh.close()
+        elapsed = time.perf_counter() - started
+    finally:
+        gc.enable()
+    assert result.success
+    return elapsed
+
+
+def _journal_marginal(dag, workdir: Path) -> tuple[float, float]:
+    """One journaled run; returns ``(journal_seconds, total_seconds)``.
+
+    ``journal_seconds`` is the summed time spent inside the journal's
+    bus callbacks, measured by marker subscribers registered around the
+    journal with the same kind filters (see the module docstring).
+    """
+    bus = EventBus()
+    EventRecorder(bus)
+    instrument(bus)
+    stamp = [0.0]
+    spent = [0.0]
+
+    def pre(event) -> None:
+        # Warm the serialization memo first: flatten+serialize is paid
+        # by the event log writer in a plain run, so it belongs to the
+        # baseline side of the ratio, not to the journal.
+        serialize_event(event)
+        stamp[0] = time.perf_counter()
+
+    def post(event) -> None:
+        spent[0] += time.perf_counter() - stamp[0]
+
+    bus.subscribe(pre, kinds=JOURNAL_KINDS)
+    jr = Journal(workdir / "journal", bus=bus, snapshot_every=1000)
+    bus.subscribe(post, kinds=JOURNAL_KINDS)
+    env = BusEnvironment(bus)
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.perf_counter()
+        with EventLogWriter(workdir / "events.jsonl", bus):
+            result = DagmanScheduler(
+                dag, env, max_jobs=WIDTH * 2, bus=bus
+            ).run()
+        jr._fh.close()  # crash-style abandon
+        total = time.perf_counter() - started
+    finally:
+        gc.enable()
+    assert result.success
+    return spent[0], total
+
+
+def test_crash_resume_costs():
+    dag = layered_dag(N)
+    ratios, samples = [], []
+    with tempfile.TemporaryDirectory(dir=WORK_ROOT) as tmp:
+        tmp = Path(tmp)
+        # informational: what the whole observed run costs without a
+        # journal (wall clock — noisy, reported but not gated)
+        base = tmp / "plain"
+        base.mkdir()
+        plain_s = _observed_run(dag, base, journal=False)
+
+        for i in range(REPEATS):
+            jdir = tmp / f"journaled{i}"
+            jdir.mkdir()
+            journal_s, total_s = _journal_marginal(dag, jdir)
+            samples.append((journal_s, total_s))
+            ratios.append(journal_s / (total_s - journal_s) * 100.0)
+        overhead_pct = statistics.median(ratios)
+        # the run the median came from (REPEATS is odd), for the report
+        journal_s, total_s = samples[ratios.index(overhead_pct)]
+
+        # -- resume replay latency over a full, uncompacted WAL ---------
+        # The overhead runs use the shipped snapshot cadence, which
+        # compacts the WAL down to a tiny suffix; for a worst-case
+        # replay number, run once more with compaction disabled.
+        replay_run = tmp / "replay"
+        replay_run.mkdir()
+        _observed_run(dag, replay_run, journal=True, snapshot_every=10**9)
+        replay_dir = replay_run / "journal"
+        started = time.perf_counter()
+        recovered = recover(replay_dir)
+        replay_s = time.perf_counter() - started
+        assert recovered.done == set(dag.jobs)
+        assert recovered.replayed > N  # submits + finishes, at least
+        replay_ms_per_1k = replay_s * 1000.0 / (recovered.replayed / 1000.0)
+
+    lines = [
+        f"Write-ahead journal costs — layered synthetic DAG, n={N:,}",
+        "",
+        f"observed run, no journal:     {plain_s:.2f}s (wall, informational)",
+        f"journal callbacks, in-run:    {journal_s:.3f}s of {total_s:.2f}s",
+        f"journal overhead:    {overhead_pct:.1f}% of the journal-less run "
+        f"(median of {REPEATS}; gate: < {MAX_OVERHEAD_PCT:g}%)",
+        "",
+        f"recovery replay: {recovered.replayed:,} records in "
+        f"{replay_s * 1000.0:.0f}ms ({replay_ms_per_1k:.2f}ms per 1k)",
+    ]
+    write_result("crash_resume", "\n".join(lines))
+    update_bench_report(
+        "crash_resume",
+        {
+            "n": N,
+            "plain_wall_s": plain_s,
+            "journal_marginal_s": journal_s,
+            "journaled_total_s": total_s,
+            "overhead_pct": overhead_pct,
+            "replayed_records": recovered.replayed,
+            "replay_s": replay_s,
+            "replay_ms_per_1k": replay_ms_per_1k,
+        },
+    )
+
+    report = {
+        "schema": "repro-report/1",
+        "label": f"crash-resume-n{N}",
+        "workflow": f"layered-{N}",
+        "journal": {
+            "overhead_pct": overhead_pct,
+            "replay_ms_per_1k": replay_ms_per_1k,
+        },
+    }
+    path = RESULTS_DIR / "crash_resume_report.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    assert overhead_pct < MAX_OVERHEAD_PCT, (
+        f"journaling cost {overhead_pct:.1f}% over plain event logging "
+        f"at n={N} (want < {MAX_OVERHEAD_PCT:g}%)"
+    )

@@ -41,7 +41,7 @@ oracle the property tests pin this rewrite against.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Protocol
@@ -54,7 +54,13 @@ from repro.observe.events import EventKind, RunEvent
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.retry import RetryPolicy
 
-__all__ = ["ExecutionEnvironment", "DagmanScheduler", "DagmanResult", "NodeState"]
+__all__ = [
+    "ExecutionEnvironment",
+    "DagmanScheduler",
+    "DagmanResult",
+    "NodeState",
+    "SchedulerRestore",
+]
 
 
 class ExecutionEnvironment(Protocol):
@@ -121,6 +127,30 @@ class DagmanResult:
         )
 
 
+@dataclass
+class SchedulerRestore:
+    """Mid-workflow counters recovered from a write-ahead journal.
+
+    ``dag.done`` carries the completed set (rescue-DAG semantics); this
+    carries everything DAGMan knows *besides* completion — how many
+    attempts each job has consumed, how much ``RETRY`` budget is left,
+    which jobs already hard-failed, and which journaled terminal
+    attempts never got their retry-or-fail decision journaled before
+    the crash (``undecided`` — the scheduler re-decides those at
+    ``start()`` with its own, restored policy, so the decision is
+    charged exactly once).
+
+    Built by :meth:`repro.resilience.journal.RecoveredState.scheduler_restore`;
+    jobs not mentioned keep their fresh-start defaults.
+    """
+
+    attempts: dict[str, int] = field(default_factory=dict)
+    retries_left: dict[str, int] = field(default_factory=dict)
+    failed_attempts: dict[str, int] = field(default_factory=dict)
+    failed: frozenset[str] = frozenset()
+    undecided: dict[str, JobAttempt] = field(default_factory=dict)
+
+
 class DagmanScheduler:
     """Execute a :class:`Dag` on an :class:`ExecutionEnvironment`."""
 
@@ -134,6 +164,7 @@ class DagmanScheduler:
         on_attempt: Callable[[JobAttempt], None] | None = None,
         bus: EventBus | None = None,
         retry_policy: "RetryPolicy | None" = None,
+        restore: SchedulerRestore | None = None,
     ) -> None:
         """``bus`` receives the full lifecycle event stream (submits,
         retries, node state changes, workflow start/end — see
@@ -150,7 +181,12 @@ class DagmanScheduler:
         finished attempt as it lands (stream attempts to a JSONL log
         with :func:`repro.wms.monitor.append_attempt`). It predates the
         bus and is kept for backward compatibility; new code should
-        subscribe to the bus's terminal events instead."""
+        subscribe to the bus's terminal events instead.
+
+        ``restore`` resumes a crashed run: per-job counters and failure
+        marks recovered from the write-ahead journal are applied during
+        ``start()`` (see :class:`SchedulerRestore`), on top of
+        ``dag.done``'s rescue-DAG completion marks."""
         if max_jobs is not None and max_jobs < 1:
             raise ValueError("max_jobs must be >= 1")
         self.dag = dag
@@ -160,6 +196,7 @@ class DagmanScheduler:
         self.on_attempt = on_attempt
         self.bus = bus
         self.retry_policy = retry_policy
+        self.restore = restore
         self.trace = WorkflowTrace()
         self.states: dict[str, NodeState] = {}
         self._retries_left: dict[str, int] = {}
@@ -229,6 +266,23 @@ class DagmanScheduler:
                 self.states[name] = NodeState.DONE
             else:
                 self.states[name] = NodeState.UNREADY
+        restore = self.restore
+        if restore is not None:
+            for name, count in restore.attempts.items():
+                if name in self._attempt:
+                    self._attempt[name] = count
+            for name, left in restore.retries_left.items():
+                if name in self._retries_left:
+                    self._retries_left[name] = left
+            for name, count in restore.failed_attempts.items():
+                if name in self._failed_attempts:
+                    self._failed_attempts[name] = count
+            for name in restore.failed:
+                # Journaled hard failures re-enter FAILED silently: their
+                # state_change was journaled (and logged) before the
+                # crash, so re-emitting would double-count it.
+                if self.states.get(name) is NodeState.UNREADY:
+                    self.states[name] = NodeState.FAILED
         states = self.states
         for name in dag.jobs:
             self._children_sorted[name] = tuple(sorted(dag.children(name)))
@@ -247,6 +301,24 @@ class DagmanScheduler:
                 and self._pending_parents[name] == 0
             ):
                 self._set_state(name, NodeState.READY)
+        if restore is not None:
+            for name in sorted(restore.failed):
+                if states.get(name) is NodeState.FAILED:
+                    self._mark_descendants_unrunnable(name)
+            # Terminal attempts whose retry-or-fail decision did not
+            # reach the journal before the crash: replay the tail of
+            # _handle_completion now, against the restored budgets and
+            # the caller's retry policy — the decision (and its RETRY
+            # charge) lands exactly once, post-resume.
+            for name in sorted(restore.undecided):
+                if states.get(name) is not NodeState.READY:
+                    continue
+                record = restore.undecided[name]
+                if self._may_retry(name, record):
+                    self._requeue(name, record)
+                else:
+                    self._set_state(name, NodeState.FAILED)
+                    self._mark_descendants_unrunnable(name)
         self._submit_ready()
 
     def result(self) -> DagmanResult:

@@ -106,6 +106,7 @@ def lint(
     planned: "PlannedWorkflow | None" = None,
     pools: "Mapping[str, SitePool] | None" = None,
     determinism: "DeterminismOptions | None" = None,
+    journal: bool | None = None,
     config: "LintConfig | None" = None,
     baseline: "frozenset[str] | None" = None,
 ) -> Report:
@@ -120,6 +121,9 @@ def lint(
     matches against; by default they are derived from the simulator
     configurations whenever a site catalog is given. ``determinism``
     opts in to the (simulation-replaying) determinism audit.
+    ``journal`` tells the durability rule (PLAN006) whether the run
+    will keep a write-ahead journal: ``False`` arms the rule, ``True``
+    satisfies it, ``None`` (default) skips it.
     ``config`` remaps severities and declares suppressions;
     ``baseline`` suppresses previously recorded finding fingerprints.
     Suppressed findings stay in the report but do not affect
@@ -149,6 +153,7 @@ def lint(
         requested_site=requested_site,
         pools=dict(pools) if pools is not None else None,
         determinism=determinism,
+        journal=journal,
     )
     report = Report(workflow=adag.name)
     for r in registered_rules():

@@ -99,6 +99,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "conditions and report trace divergence (slow)",
     )
     parser.add_argument(
+        "--journal", dest="journal", action="store_true", default=None,
+        help="the run will keep a write-ahead journal (satisfies the "
+        "PLAN006 durability rule)",
+    )
+    parser.add_argument(
+        "--no-journal", dest="journal", action="store_false",
+        help="the run will NOT keep a journal: arm PLAN006, which "
+        "warns when retries or a long critical path make an "
+        "unjournaled run risky (omit both flags to skip the rule)",
+    )
+    parser.add_argument(
         "--fail-on", choices=("error", "warning"), default="error",
         help="exit 1 when findings of this severity (or worse) remain "
         "unsuppressed (default: error)",
@@ -225,6 +236,7 @@ def main(argv: list[str] | None = None) -> int:
             planned=planned,
             pools=pools,
             determinism=determinism,
+            journal=args.journal,
             config=config,
             baseline=baseline,
         )

@@ -17,9 +17,19 @@ from repro.lint.findings import Finding, Severity
 from repro.lint.registry import LintContext, finding, rule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.dagman.dag import Dag
     from repro.wms.catalogs import SiteEntry
 
-__all__ = ["abstract_critical_path"]
+__all__ = [
+    "abstract_critical_path",
+    "durability_advice",
+    "DURABILITY_MAKESPAN_THRESHOLD_S",
+]
+
+#: Expected makespan past which an unjournaled run is a gamble: the
+#: paper's OSG assemblies ran for hours, and losing hour N to a manager
+#: crash re-runs hours 1..N-1 from scratch.
+DURABILITY_MAKESPAN_THRESHOLD_S = 4 * 3600.0
 
 
 def abstract_critical_path(ctx: LintContext) -> float:
@@ -151,6 +161,60 @@ def _priority_inversion(ctx: LintContext) -> Iterator[Finding]:
                 "raise the producer's priority to at least the "
                 "consumer's",
             )
+
+
+def durability_advice(
+    dag: "Dag",
+    *,
+    makespan_threshold_s: float = DURABILITY_MAKESPAN_THRESHOLD_S,
+) -> str | None:
+    """Why this executable DAG deserves a write-ahead journal, or None.
+
+    Shared between PLAN006 and ``repro-run``'s inline warning: a plan
+    that budgets retries *expects* failures, and a plan whose critical
+    path alone exceeds the threshold loses real hours to a manager
+    crash — both are runs worth making resumable.
+    """
+    with_retries = sorted(
+        name for name, job in dag.jobs.items() if job.retries > 0
+    )
+    path_s = dag.critical_path_length()
+    reasons = []
+    if with_retries:
+        reasons.append(
+            f"{len(with_retries)} job(s) budget retries (e.g. "
+            f"{with_retries[0]!r}) — the plan expects failures"
+        )
+    if path_s > makespan_threshold_s:
+        reasons.append(
+            f"the critical path alone runs {path_s / 3600.0:.1f}h "
+            f"(> {makespan_threshold_s / 3600.0:.0f}h) — a manager "
+            "crash near the end re-runs all of it"
+        )
+    if not reasons:
+        return None
+    return "; ".join(reasons)
+
+
+@rule(
+    "PLAN006",
+    Severity.WARNING,
+    "long or retry-heavy run without a write-ahead journal",
+    requires=("planned", "journal"),
+)
+def _unjournaled_durable_run(ctx: LintContext) -> Iterator[Finding]:
+    assert ctx.planned is not None and ctx.journal is not None
+    if ctx.journal:
+        return
+    advice = durability_advice(ctx.planned.dag)
+    if advice:
+        yield finding(
+            f"workflow:{ctx.planned.dag.name}",
+            f"this run keeps no write-ahead journal, but {advice}",
+            "run with repro-run --journal DIR so a crashed manager "
+            "resumes with --resume DIR instead of re-executing "
+            "completed jobs",
+        )
 
 
 @rule(

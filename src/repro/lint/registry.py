@@ -57,6 +57,10 @@ class LintContext:
     #: opt-in determinism-audit configuration (DET rules); left None
     #: in normal lint runs because the audit replays simulations
     determinism: "DeterminismOptions | None" = None
+    #: whether the run will keep a write-ahead journal (PLAN006):
+    #: ``False`` = running without one, ``True`` = journaled, ``None`` =
+    #: unknown (the durability rule is skipped)
+    journal: bool | None = None
 
     # -- tolerant graph views -----------------------------------------
 

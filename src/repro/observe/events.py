@@ -37,6 +37,11 @@ kind                      meaning
                           (``detail`` has kind/key)
 ``cache.miss``            a result was absent (or corrupt) in the store
                           and is being recomputed
+``journal.snapshot``      the write-ahead journal compacted its state
+                          into ``snapshot.json`` and rotated segments
+                          (``detail`` has seq/segment/records)
+``journal.resume``        a run is continuing from a recovered journal
+                          (``detail`` has replayed/done/torn/clock)
 ========================  ==============================================
 
 Terminal events (``job.finish`` / ``job.evict``) carry the full
@@ -76,6 +81,8 @@ class EventKind(Enum):
     RESCUE = "rescue.round"
     CACHE_HIT = "cache.hit"
     CACHE_MISS = "cache.miss"
+    JOURNAL_SNAPSHOT = "journal.snapshot"
+    JOURNAL_RESUME = "journal.resume"
 
 
 #: Kinds that end one attempt and carry its full :class:`JobAttempt`.

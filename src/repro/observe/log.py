@@ -22,7 +22,16 @@ from repro.dagman.events import JobAttempt, JobStatus, ResourceProfile
 from repro.observe.bus import EventBus
 from repro.observe.events import EventKind, RunEvent
 
-__all__ = ["EventLogWriter", "write_events", "read_events", "iter_events"]
+__all__ = [
+    "EventLogWriter",
+    "event_to_json",
+    "event_to_json_line",
+    "event_from_json",
+    "serialize_event",
+    "write_events",
+    "read_events",
+    "iter_events",
+]
 
 #: The per-attempt fields shared with :mod:`repro.wms.monitor`.
 ATTEMPT_FIELDS = (
@@ -38,8 +47,45 @@ ATTEMPT_FIELDS = (
 )
 
 
+#: One-slot serialization memo. A run's bus fans each event out to
+#: several persistence subscribers (event log, write-ahead journal);
+#: caching the last event's flattened dict and compact line means the
+#: flatten + serialize work happens once per event, not once per
+#: subscriber. Holding a strong reference to the event itself makes the
+#: ``is`` check sound (an id can't be recycled while we still hold it).
+_memo: tuple[RunEvent, dict, str] | None = None
+
+
+def serialize_event(event: RunEvent) -> tuple[dict, str]:
+    """The flattened dict *and* compact JSON line for *event*, memoized
+    per event object (see the memo above). Both values may be shared
+    across callers — treat them as read-only."""
+    global _memo
+    memo = _memo
+    if memo is not None and memo[0] is event:
+        return memo[1], memo[2]
+    data = _flatten(event)
+    line = json.dumps(data, separators=(",", ":"))
+    _memo = (event, data, line)
+    return data, line
+
+
 def event_to_json(event: RunEvent) -> dict:
-    """Flatten one event to a JSON-able dict (one log line)."""
+    """Flatten one event to a JSON-able dict (one log line).
+
+    The result may be shared across callers (see the memo above) —
+    treat it as read-only; copy before mutating.
+    """
+    return serialize_event(event)[0]
+
+
+def event_to_json_line(event: RunEvent) -> str:
+    """One compact JSON line (no newline) for *event*, memo-shared with
+    :func:`event_to_json` so co-subscribers serialize each event once."""
+    return serialize_event(event)[1]
+
+
+def _flatten(event: RunEvent) -> dict:
     out: dict[str, object] = {"event": event.kind.value, "t": event.time}
     for name in ("job_name", "transformation", "site", "machine", "attempt"):
         value = getattr(event, name)
@@ -135,7 +181,7 @@ class EventLogWriter:
     def __call__(self, event: RunEvent) -> None:
         if self._fh is None:
             raise ValueError(f"event log {self.path} is closed")
-        self._fh.write(json.dumps(event_to_json(event)) + "\n")
+        self._fh.write(event_to_json_line(event) + "\n")
         self._fh.flush()
 
     def close(self) -> None:
@@ -156,7 +202,7 @@ class EventLogWriter:
 def write_events(path: str | Path, events: Iterable[RunEvent]) -> int:
     """Write a whole event stream as JSONL; returns the event count."""
     events = list(events)
-    payload = "".join(json.dumps(event_to_json(e)) + "\n" for e in events)
+    payload = "".join(event_to_json_line(e) + "\n" for e in events)
     from repro.util.iolib import atomic_write
 
     atomic_write(path, payload)

@@ -389,6 +389,10 @@ _METRIC_PATHS: dict[str, tuple[str, ...]] = {
     # rates, so "higher is worse" holds like every other metric here.
     "engine_us_per_event": ("engine", "us_per_event"),
     "engine_us_per_job": ("engine", "us_per_job"),
+    # Write-ahead journal costs (bench_crash_resume): journaling
+    # overhead on a run, and recovery replay latency.
+    "journal_overhead_pct": ("journal", "overhead_pct"),
+    "journal_replay_ms_per_1k": ("journal", "replay_ms_per_1k"),
 }
 
 

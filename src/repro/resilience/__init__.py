@@ -19,7 +19,12 @@ testable subsystem:
   on arrival;
 * :mod:`repro.resilience.recovery` —
   :func:`~repro.resilience.recovery.run_with_recovery`, the automated
-  rescue-DAG resubmit loop.
+  rescue-DAG resubmit loop;
+* :mod:`repro.resilience.journal` — the crash-consistent write-ahead
+  journal: every durable scheduler decision hits an fsynced,
+  CRC-framed WAL before it takes effect in memory, snapshots bound the
+  replay, and :func:`~repro.resilience.journal.recover` resumes a
+  ``kill -9``'d run without re-executing completed jobs.
 
 Everything emits typed events (``job.timeout``, ``job.held``,
 ``fault.injected``, ``blacklist.add``, ``rescue.round``) on the
@@ -32,6 +37,8 @@ from repro.resilience.faults import (
     AttemptFault,
     BadNode,
     ChaosPayload,
+    CrashFault,
+    CrashInjected,
     Eviction,
     FaultDecision,
     FaultInjected,
@@ -42,6 +49,15 @@ from repro.resilience.faults import (
     Slowdown,
     StartFailure,
     resolve_exec,
+)
+from repro.resilience.journal import (
+    Journal,
+    JournalError,
+    JournalState,
+    ReconcileReport,
+    RecoveredState,
+    reconcile_local,
+    recover,
 )
 from repro.resilience.recovery import (
     RecoveryResult,
@@ -61,6 +77,15 @@ __all__ = [
     "AttemptFault",
     "BadNode",
     "ChaosPayload",
+    "CrashFault",
+    "CrashInjected",
+    "Journal",
+    "JournalError",
+    "JournalState",
+    "ReconcileReport",
+    "RecoveredState",
+    "reconcile_local",
+    "recover",
     "Eviction",
     "FaultDecision",
     "FaultInjected",

@@ -133,6 +133,87 @@ class Blacklist:
         ]
         return min(expiries) if expiries else None
 
+    # -- persistence ----------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Serialize policy, streaks, and blocks for a journal snapshot.
+
+        Infinite (permanent) block expiries become ``None`` so the
+        payload is plain JSON; :meth:`from_json` restores them.
+        """
+
+        def _expiries(table: dict[str, float]) -> dict[str, float | None]:
+            return {
+                k: (None if math.isinf(t) else t)
+                for k, t in sorted(table.items())
+            }
+
+        return {
+            "policy": {
+                "threshold": self.policy.threshold,
+                "cooldown_s": self.policy.cooldown_s,
+                "site_threshold": self.policy.site_threshold,
+            },
+            "machine_streak": dict(sorted(self._machine_streak.items())),
+            "site_streak": dict(sorted(self._site_streak.items())),
+            "blocked_machines": _expiries(self._blocked_machines),
+            "blocked_sites": _expiries(self._blocked_sites),
+            "trips": self.trips,
+        }
+
+    @classmethod
+    def from_json(
+        cls, data: dict, *, bus: EventBus | None = None
+    ) -> "Blacklist":
+        """Rebuild a blacklist from :meth:`to_json` output.
+
+        This is the cross-process half of ``run_with_recovery``: without
+        it a blacklisted machine gets a fresh streak after a manager
+        restart and burns another ``threshold`` jobs re-discovering the
+        same misconfigured node.
+        """
+        policy_data = data.get("policy", {})
+        blacklist = cls(
+            BlacklistPolicy(
+                threshold=int(policy_data.get("threshold", 3)),
+                cooldown_s=policy_data.get("cooldown_s"),
+                site_threshold=policy_data.get("site_threshold"),
+            ),
+            bus=bus,
+        )
+        blacklist._machine_streak = {
+            str(k): int(v)
+            for k, v in data.get("machine_streak", {}).items()
+        }
+        blacklist._site_streak = {
+            str(k): int(v) for k, v in data.get("site_streak", {}).items()
+        }
+
+        def _restore(raw: dict) -> dict[str, float]:
+            return {
+                str(k): (math.inf if t is None else float(t))
+                for k, t in raw.items()
+            }
+
+        blacklist._blocked_machines = _restore(
+            data.get("blocked_machines", {})
+        )
+        blacklist._blocked_sites = _restore(data.get("blocked_sites", {}))
+        blacklist.trips = int(data.get("trips", 0))
+        return blacklist
+
+    def restore_block(
+        self, scope: str, name: str, *, until: float | None
+    ) -> None:
+        """Re-apply one journaled ``blacklist.add`` record (WAL replay
+        of blocks recorded after the last snapshot). Silent: no event
+        emission, no trip accounting — the original block already did
+        both."""
+        table = (
+            self._blocked_sites if scope == "site" else self._blocked_machines
+        )
+        table[name] = math.inf if until is None else float(until)
+
     # -- internals ------------------------------------------------------
 
     def _check(self, table: dict[str, float], key: str, now: float) -> bool:

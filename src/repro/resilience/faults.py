@@ -56,6 +56,8 @@ __all__ = [
     "SiteOutage",
     "BadNode",
     "AttemptFault",
+    "CrashFault",
+    "CrashInjected",
     "FaultPlan",
     "FaultDecision",
     "FaultInjector",
@@ -367,6 +369,59 @@ class FaultInjector:
 
 class FaultInjected(RuntimeError):
     """Raised inside a worker by a :class:`ChaosPayload` DOA fault."""
+
+
+class CrashInjected(RuntimeError):
+    """Raised by a :class:`CrashFault` in ``raise`` mode — the
+    in-process stand-in for the manager dying mid-journal-write."""
+
+
+@dataclass
+class CrashFault:
+    """Kill the *manager* at the Nth write-ahead-journal record.
+
+    Where every other fault in this module breaks a job, this one
+    breaks the workflow manager itself — the failure mode
+    :mod:`repro.resilience.journal` exists to survive. The journal
+    consults the fault before each record append; when the Nth record
+    (1-based, counted across this fault's lifetime) is reached, only a
+    ``torn_fraction`` prefix of the record's bytes hits the file (a
+    simulated torn write) and then :meth:`fire` either raises
+    :class:`CrashInjected` (``mode="raise"``, for in-process property
+    tests that sweep every crash point) or SIGKILLs the process
+    (``mode="kill"``, for end-to-end subprocess tests and the
+    ``repro-run --crash-at-record`` harness — a real unclean death, no
+    atexit handlers, no flushes).
+    """
+
+    at_record: int
+    mode: str = "raise"
+    torn_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.at_record < 1:
+            raise ValueError("at_record is 1-based and must be >= 1")
+        if self.mode not in ("raise", "kill"):
+            raise ValueError("mode must be 'raise' or 'kill'")
+        if not 0.0 <= self.torn_fraction < 1.0:
+            raise ValueError("torn_fraction must be in [0, 1)")
+        self._seen = 0
+
+    def note_record(self) -> bool:
+        """Count one record about to be appended; True = crash now."""
+        self._seen += 1
+        return self._seen == self.at_record
+
+    def fire(self) -> None:
+        """Die. ``kill`` mode never returns; ``raise`` mode raises."""
+        if self.mode == "kill":  # pragma: no cover - process suicide
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise CrashInjected(
+            f"injected manager crash at journal record {self.at_record}"
+        )
 
 
 @dataclass

@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
         DagmanScheduler,
         ExecutionEnvironment,
     )
+    from repro.resilience.journal import Journal, RecoveredState
 
 __all__ = ["RecoveryRound", "RecoveryResult", "run_with_recovery"]
 
@@ -79,6 +80,8 @@ def run_with_recovery(
     rescue_dir: str | Path | None = None,
     bus: EventBus | None = None,
     on_round_start: Callable[[DagmanScheduler, int], None] | None = None,
+    journal: "Journal | None" = None,
+    resume: "RecoveredState | None" = None,
     **scheduler_kwargs: object,
 ) -> RecoveryResult:
     """Run ``dag``, rescuing and resubmitting until success or
@@ -93,6 +96,17 @@ def run_with_recovery(
     :class:`DagmanScheduler`; ``on_round_start`` fires after each
     round's initial submissions, before the environment is driven
     (start samplers there).
+
+    Durability: pass ``journal`` (a live, bus-subscribed
+    :class:`~repro.resilience.journal.Journal`) to compact it after
+    every round — a crash then replays at most one round's WAL suffix.
+    Pass ``resume`` (a :class:`~repro.resilience.journal.RecoveredState`)
+    to continue a crashed run: the journaled done set becomes DONE
+    marks, the first resumed round's scheduler restores the journaled
+    attempt/retry counters, the rescue-round numbering carries on from
+    the journal, and the merged trace is seeded with the journaled
+    attempts. ``dag`` must be the same abstract DAG the crashed run
+    was executing.
     """
     # Imported here, not at module top: the simulators import
     # repro.resilience (for fault injection), and the scheduler's
@@ -106,11 +120,30 @@ def run_with_recovery(
 
     outcome = RecoveryResult(success=False)
     current = dag
-    for round_no in range(1, max_rounds + 1):
+    start_round = 1
+    restore = None
+    if resume is not None:
+        if resume.complete:
+            raise ValueError(
+                f"journal at {resume.path} records a completed workflow; "
+                "there is nothing to resume"
+            )
+        # The journaled attempts open the merged trace, the journaled
+        # done set becomes DONE marks, and the round numbering picks up
+        # where the crashed manager left off.
+        for attempt in resume.trace():
+            outcome.trace.add(attempt)
+        current = resume.resume_dag(dag)
+        start_round = resume.state.rescue_round + 1
+        restore = resume.scheduler_restore()
+    last_round_no = max(max_rounds, start_round)
+    for round_no in range(start_round, last_round_no + 1):
         env = environment(round_no) if callable(environment) else environment
         scheduler = DagmanScheduler(
-            current, env, bus=bus, **scheduler_kwargs  # type: ignore[arg-type]
+            current, env, bus=bus, restore=restore,
+            **scheduler_kwargs,  # type: ignore[arg-type]
         )
+        restore = None  # counters restore into the first resumed round only
         scheduler.start()
         if on_round_start is not None:
             on_round_start(scheduler, round_no)
@@ -129,12 +162,14 @@ def run_with_recovery(
 
         if result.success:
             outcome.success = True
+            if journal is not None and not journal.closed:
+                journal.snapshot()
             return outcome
 
         done = {
             n for n, s in result.states.items() if s is NodeState.DONE
         }
-        last_round = round_no == max_rounds
+        last_round = round_no == last_round_no
         if bus is not None:
             bus.emit(
                 RunEvent(
@@ -150,6 +185,11 @@ def run_with_recovery(
                     },
                 )
             )
+        # Compact after the round boundary: the rescue.round record is
+        # in the WAL, so a crash in the next round replays only that
+        # round's suffix on top of this snapshot.
+        if journal is not None and not journal.closed:
+            journal.snapshot()
         if last_round:
             return outcome
 

@@ -31,6 +31,7 @@ from typing import Iterator, TextIO
 __all__ = [
     "atomic_open",
     "atomic_write",
+    "ensure_dir",
     "file_checksum",
     "sha256_text",
     "open_text_auto",
@@ -50,6 +51,36 @@ def _fsync_dir(path: Path) -> None:
         pass
     finally:
         os.close(fd)
+
+
+def ensure_dir(path: str | Path) -> Path:
+    """Create ``path`` (and parents) *durably* and return it.
+
+    ``mkdir -p`` alone is not crash-safe: the new directory entry lives
+    in its parent, and until the parent is fsynced a crash can lose the
+    entry while files inside survive as orphans — exactly the failure a
+    recovery journal cannot afford in its own home. So every directory
+    this call actually creates gets its parent fsynced, bottom-up.
+
+    Directory fsync failures on platforms that do not support it are
+    tolerated (same contract as the rename path in
+    :func:`atomic_write`); the creation itself still raises normally.
+    """
+    path = Path(path)
+    missing: list[Path] = []
+    probe = path
+    while not probe.exists():
+        missing.append(probe)
+        parent = probe.parent
+        if parent == probe:  # filesystem root
+            break
+        probe = parent
+    path.mkdir(parents=True, exist_ok=True)
+    # Deepest-last in ``missing``; sync parents root-first so each
+    # fsynced entry's own parent is already durable.
+    for created in reversed(missing):
+        _fsync_dir(created.parent)
+    return path
 
 
 @contextmanager

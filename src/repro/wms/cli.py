@@ -169,6 +169,29 @@ def main_run(argv: list[str] | None = None) -> int:
     parser.add_argument("--blacklist-cooldown", type=float, default=0.0,
                         help="seconds before a blacklisted machine gets "
                              "another chance (0 = permanent)")
+    parser.add_argument("--journal", default=None, metavar="DIR",
+                        help="write a crash-consistent write-ahead journal "
+                             "to DIR; a killed run resumes with --resume DIR")
+    parser.add_argument("--resume", default=None, metavar="DIR",
+                        help="resume a crashed run from its journal "
+                             "directory (continues journaling there)")
+    parser.add_argument("--journal-snapshot-every", type=int, default=1000,
+                        help="journal compaction floor: snapshot once the "
+                             "WAL suffix reaches max(N, state size) records "
+                             "(bounds recovery replay)")
+    parser.add_argument("--journal-fsync",
+                        choices=("always", "batch", "never"),
+                        default="batch",
+                        help="journal fsync policy: per record, batched "
+                             "(~1k records + every snapshot), or never")
+    parser.add_argument("--crash-at-record", type=int, default=0,
+                        metavar="N",
+                        help="testing: crash the manager at the Nth journal "
+                             "record, leaving a torn tail (needs --journal)")
+    parser.add_argument("--crash-mode", choices=("kill", "raise"),
+                        default="kill",
+                        help="testing: SIGKILL the process (kill) or raise "
+                             "CrashInjected in-process (raise)")
     args = parser.parse_args(argv)
 
     from repro.observe import (
@@ -183,13 +206,19 @@ def main_run(argv: list[str] | None = None) -> int:
     from repro.resilience import (
         Blacklist,
         BlacklistPolicy,
+        CrashFault,
+        CrashInjected,
         Eviction,
         ExponentialBackoff,
         FaultInjector,
         FaultPlan,
         FixedDelayRetry,
+        Journal,
+        JournalError,
         SiteOutage,
         StartFailure,
+        reconcile_local,
+        recover,
         run_with_recovery,
     )
     from repro.sim.cloud import CloudPlatform
@@ -229,7 +258,72 @@ def main_run(argv: list[str] | None = None) -> int:
                 file=sys.stderr,
             )
 
-    simulator = Simulator()
+    journal_dir = Path(args.journal) if args.journal else None
+    resume_dir = Path(args.resume) if args.resume else None
+    if resume_dir is not None and journal_dir is None:
+        journal_dir = resume_dir
+    if args.crash_at_record > 0 and journal_dir is None:
+        print("--crash-at-record requires --journal", file=sys.stderr)
+        return 2
+
+    recovered = None
+    if resume_dir is not None:
+        try:
+            recovered = recover(resume_dir)
+        except JournalError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        if recovered.complete:
+            done = bool(recovered.state.workflow_done)
+            print(
+                f"journal at {resume_dir} records a "
+                f"{'succeeded' if done else 'FAILED'} workflow; "
+                "nothing to resume"
+            )
+            return 0 if done else 1
+        try:
+            reconciled = reconcile_local(recovered)
+        except JournalError as exc:
+            print(f"cannot resume: {exc}", file=sys.stderr)
+            return 2
+        interop = recovered.write_rescue(
+            dag, submit / f"{dag.name}.resume.dag"
+        )
+        print(
+            f"resuming from {resume_dir}: {len(recovered.done)} job(s) "
+            f"already done, {recovered.replayed} record(s) replayed"
+            + (" after truncating a torn tail" if recovered.torn_tail
+               else "")
+        )
+        if reconciled.requeued:
+            print(
+                f"requeueing {len(reconciled.requeued)} in-flight job(s): "
+                + ", ".join(reconciled.requeued[:5])
+                + ("..." if len(reconciled.requeued) > 5 else "")
+            )
+        if reconciled.reaped:
+            print(
+                f"reaped {len(reconciled.reaped)} orphaned worker(s): "
+                + ", ".join(str(p) for p in reconciled.reaped)
+            )
+        print(f"resume state written to {interop.name}")
+
+    # If this plan would benefit from a journal and none was asked for,
+    # say so — same advice the linter gives as PLAN006.
+    if journal_dir is None:
+        from repro.lint.plan_rules import durability_advice
+
+        advice = durability_advice(dag)
+        if advice:
+            print(
+                f"warning: {advice}; run with --journal DIR to make the "
+                "run resumable (repro-lint PLAN006)",
+                file=sys.stderr,
+            )
+
+    simulator = Simulator(
+        start_time=recovered.clock if recovered is not None else 0.0
+    )
     streams = RngStreams(seed=args.seed)
     bus = EventBus()
     recorder = EventRecorder(bus)
@@ -255,15 +349,21 @@ def main_run(argv: list[str] | None = None) -> int:
         injector = FaultInjector(
             FaultPlan(tuple(faults)), rng=streams.stream("faults"), bus=bus
         )
-    blacklist = None
+    blacklist_policy = None
     if args.blacklist_threshold > 0:
-        blacklist = Blacklist(
-            BlacklistPolicy(
-                threshold=args.blacklist_threshold,
-                cooldown_s=args.blacklist_cooldown or None,
-            ),
-            bus=bus,
+        blacklist_policy = BlacklistPolicy(
+            threshold=args.blacklist_threshold,
+            cooldown_s=args.blacklist_cooldown or None,
         )
+    blacklist = None
+    if recovered is not None:
+        # Journaled blacklist state (snapshot + WAL suffix) survives the
+        # crash: a tripped breaker stays tripped across the restart.
+        blacklist = recovered.restore_blacklist(
+            policy=blacklist_policy, bus=bus
+        )
+    if blacklist is None and blacklist_policy is not None:
+        blacklist = Blacklist(blacklist_policy, bus=bus)
     retry_policy = None
     if args.retry_policy == "fixed":
         retry_policy = FixedDelayRetry(
@@ -304,18 +404,54 @@ def main_run(argv: list[str] | None = None) -> int:
         # simulator drains between rounds.
         sampler.start()
 
-    # Truncate any previous event log, then stream this run into it.
-    (submit / EVENTS_FILE).write_text("")
-    with EventLogWriter(submit / EVENTS_FILE, bus):
-        outcome = run_with_recovery(
-            dag,
-            env,
-            max_rounds=args.max_rescue_rounds,
-            rescue_dir=submit,
-            bus=bus,
-            on_round_start=on_round_start,
-            retry_policy=retry_policy,
+    journal = None
+    if journal_dir is not None:
+        crash = None
+        if args.crash_at_record > 0:
+            crash = CrashFault(args.crash_at_record, mode=args.crash_mode)
+        try:
+            journal = Journal(
+                journal_dir,
+                bus=bus,
+                snapshot_every=args.journal_snapshot_every,
+                fsync=args.journal_fsync,
+                crash=crash,
+                resume=recovered,
+            )
+        except JournalError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if blacklist is not None:
+            journal.attach_blacklist(blacklist)
+
+    # Truncate any previous event log, then stream this run into it —
+    # unless resuming, where the new events append after the old ones
+    # and the merged log reads as one continuous run.
+    if recovered is None:
+        (submit / EVENTS_FILE).write_text("")
+    try:
+        with EventLogWriter(submit / EVENTS_FILE, bus):
+            outcome = run_with_recovery(
+                dag,
+                env,
+                max_rounds=args.max_rescue_rounds,
+                rescue_dir=submit,
+                bus=bus,
+                on_round_start=on_round_start,
+                retry_policy=retry_policy,
+                journal=journal,
+                resume=recovered,
+            )
+    except CrashInjected as exc:
+        print(
+            f"crash injected: {exc}; resume with repro-run "
+            f"--submit-dir {submit} --resume {journal_dir}",
+            file=sys.stderr,
         )
+        return 3
+    finally:
+        if journal is not None:
+            journal.close()
     result = outcome.final
 
     write_trace(submit / TRACE_FILE, outcome.trace)
@@ -363,6 +499,8 @@ def main_run(argv: list[str] | None = None) -> int:
         + (f", {UTILIZATION_FILE}" if sampler is not None else "")
         + f", {METRICS_FILE}"
     )
+    if journal_dir is not None:
+        print(f"journal: {journal_dir}")
     if isinstance(env, CloudPlatform):
         print(f"cloud cost: ${env.billed_cost():.2f} "
               f"({env.instance_seconds():.0f} instance-seconds)")

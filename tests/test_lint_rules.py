@@ -260,6 +260,20 @@ def seed_plan005():
     }
 
 
+def seed_plan006():
+    # Default retries (> 0) mean the plan expects failures; declaring
+    # journal=False (run will keep no write-ahead journal) arms the
+    # durability rule. Sandhills keeps the preemptible-site rules quiet.
+    adag = fan_out()
+    sites, tc, rc = full_catalogs()
+    rc.add("raw.txt", "file:///raw.txt")
+    planned = _planned(adag, "sandhills", sites, tc, rc)
+    return adag, {
+        "sites": sites, "transformations": tc, "replicas": rc,
+        "site": "sandhills", "planned": planned, "journal": False,
+    }
+
+
 def seed_flow001():
     # a's input is unresolvable (DAX002's finding); b is *transitively*
     # starved through a, which is FLOW001's.
@@ -402,6 +416,7 @@ SEEDS = {
     "PLAN003": seed_plan003,
     "PLAN004": seed_plan004,
     "PLAN005": seed_plan005,
+    "PLAN006": seed_plan006,
     "FLOW001": seed_flow001,
     "FLOW002": seed_flow002,
     "FLOW003": seed_flow003,
@@ -435,9 +450,10 @@ class TestRuleTable:
         planned = plan(adag, site_name="sandhills", sites=sites,
                        transformations=tc, replicas=rc)
         report = lint(adag, sites=sites, transformations=tc, replicas=rc,
-                      site="sandhills", planned=planned)
+                      site="sandhills", planned=planned, journal=True)
         assert report.findings == []
         # the determinism audit is opt-in; every static pass ran
+        # (journal=True satisfies PLAN006 rather than skipping it)
         assert report.skipped_rules == ["DET001"]
         assert report.ok
 
