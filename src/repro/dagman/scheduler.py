@@ -105,6 +105,13 @@ class NodeState(Enum):
     UNRUNNABLE = "unrunnable"  # an ancestor failed
 
 
+#: States a node never leaves; a workflow is finished when every node
+#: has reached one (see :attr:`DagmanScheduler.unfinished`).
+_TERMINAL_STATES = frozenset(
+    {NodeState.DONE, NodeState.FAILED, NodeState.UNRUNNABLE}
+)
+
+
 @dataclass
 class DagmanResult:
     """Final outcome of one DAGMan run."""
@@ -207,6 +214,10 @@ class DagmanScheduler:
         self._in_flight = 0
         self._started = False
         self._start_time = 0.0
+        # Nodes not yet in a terminal state (DONE/FAILED/UNRUNNABLE),
+        # maintained incrementally so the service layer's "is this
+        # workflow finished?" check is O(1), not an O(n) state scan.
+        self._unfinished = 0
         # Incremental ready-set state: a node is pushed exactly once per
         # readiness transition; entries for nodes that left READY some
         # other way (unrunnable cascade) are skipped lazily at pop time.
@@ -283,6 +294,14 @@ class DagmanScheduler:
                 # crash, so re-emitting would double-count it.
                 if self.states.get(name) is NodeState.UNREADY:
                     self.states[name] = NodeState.FAILED
+        # Counted after the direct state writes above (pre-done marks,
+        # journaled failures); every later transition into a terminal
+        # state flows through _set_state and decrements it.
+        self._unfinished = sum(
+            1
+            for s in self.states.values()
+            if s not in _TERMINAL_STATES
+        )
         states = self.states
         for name in dag.jobs:
             self._children_sorted[name] = tuple(sorted(dag.children(name)))
@@ -373,6 +392,8 @@ class DagmanScheduler:
     def _set_state(self, name: str, state: NodeState) -> None:
         previous = self.states[name]
         self.states[name] = state
+        if state in _TERMINAL_STATES and previous not in _TERMINAL_STATES:
+            self._unfinished -= 1
         if state is NodeState.READY:
             # Readiness order is the FIFO tie-break within a priority
             # class, so retried jobs queue behind equal-priority nodes
@@ -579,3 +600,13 @@ class DagmanScheduler:
     def attempt_number(self) -> dict[str, int]:
         """Current attempt count per job (1-based once submitted)."""
         return dict(self._attempt)
+
+    @property
+    def unfinished(self) -> int:
+        """Nodes not yet terminal (DONE/FAILED/UNRUNNABLE) — O(1).
+
+        Zero means the workflow is over: nothing is running, held, or
+        waiting, and :meth:`finish` can be called. Valid once
+        :meth:`start` has run.
+        """
+        return self._unfinished

@@ -42,6 +42,16 @@ kind                      meaning
                           (``detail`` has seq/segment/records)
 ``journal.resume``        a run is continuing from a recovered journal
                           (``detail`` has replayed/done/torn/clock)
+``service.submit``        a tenant handed a DAG to the WaaS front-end
+                          (``detail`` has tenant/workflow/jobs)
+``service.admit``         admission control accepted the workflow and
+                          queued it for fair-share release
+``service.reject``        admission control refused the workflow
+                          (``detail["reason"]`` says why — infeasible
+                          requirements, quota, unknown tenant)
+``service.workflow_done`` a tenant workflow finished (``detail`` has
+                          tenant/workflow/succeeded plus turnaround_s
+                          and queue_wait_s for SLO accounting)
 ========================  ==============================================
 
 Terminal events (``job.finish`` / ``job.evict``) carry the full
@@ -83,6 +93,10 @@ class EventKind(Enum):
     CACHE_MISS = "cache.miss"
     JOURNAL_SNAPSHOT = "journal.snapshot"
     JOURNAL_RESUME = "journal.resume"
+    SERVICE_SUBMIT = "service.submit"
+    SERVICE_ADMIT = "service.admit"
+    SERVICE_REJECT = "service.reject"
+    SERVICE_WORKFLOW_DONE = "service.workflow_done"
 
 
 #: Kinds that end one attempt and carry its full :class:`JobAttempt`.

@@ -199,7 +199,13 @@ def instrument(bus: EventBus, registry: MetricsRegistry | None = None) -> Metric
     * ``jobs_in_flight`` — gauge (submits minus terminals);
     * ``queue_idle`` / ``slots_busy`` — gauges from utilization samples;
     * ``kickstart_s{transformation=…}``, ``waiting_s``,
-      ``download_install_s`` — histograms from terminal records.
+      ``download_install_s`` — histograms from terminal records;
+    * ``service_submissions_total{tenant=…}`` /
+      ``service_rejections_total{tenant=…}`` /
+      ``service_workflows_done_total{tenant=…}`` — WaaS front-end
+      traffic, plus ``service_turnaround_s{tenant=…}`` and
+      ``service_queue_wait_s{tenant=…}`` histograms (the per-tenant
+      SLO distributions) from ``service.workflow_done`` details.
     """
     registry = registry or MetricsRegistry()
 
@@ -225,6 +231,25 @@ def instrument(bus: EventBus, registry: MetricsRegistry | None = None) -> Metric
                 "cache_misses_total",
                 {"kind": str(event.detail.get("kind", ""))},
             ).inc()
+        elif event.kind is EventKind.SERVICE_SUBMIT:
+            registry.counter(
+                "service_submissions_total",
+                {"tenant": str(event.detail.get("tenant", ""))},
+            ).inc()
+        elif event.kind is EventKind.SERVICE_REJECT:
+            registry.counter(
+                "service_rejections_total",
+                {"tenant": str(event.detail.get("tenant", ""))},
+            ).inc()
+        elif event.kind is EventKind.SERVICE_WORKFLOW_DONE:
+            tenant = {"tenant": str(event.detail.get("tenant", ""))}
+            registry.counter("service_workflows_done_total", tenant).inc()
+            registry.histogram("service_turnaround_s", tenant).observe(
+                float(event.detail.get("turnaround_s", 0.0))  # type: ignore[arg-type]
+            )
+            registry.histogram("service_queue_wait_s", tenant).observe(
+                float(event.detail.get("queue_wait_s", 0.0))  # type: ignore[arg-type]
+            )
         elif event.kind is EventKind.SAMPLE:
             registry.gauge("queue_idle").set(float(event.detail.get("idle", 0)))  # type: ignore[arg-type]
             registry.gauge("slots_busy").set(float(event.detail.get("busy", 0)))  # type: ignore[arg-type]

@@ -393,6 +393,16 @@ _METRIC_PATHS: dict[str, tuple[str, ...]] = {
     # overhead on a run, and recovery replay latency.
     "journal_overhead_pct": ("journal", "overhead_pct"),
     "journal_replay_ms_per_1k": ("journal", "replay_ms_per_1k"),
+    # Multi-tenant service-layer costs (bench_service_load): wall
+    # seconds per completed workflow (inverse of sustained
+    # workflows/min, so "higher is worse" holds), tenant SLO tails,
+    # and matchmaking cost per dispatched job.
+    "service_seconds_per_workflow": ("service", "seconds_per_workflow"),
+    "service_p95_turnaround_s": ("service", "p95_turnaround_s"),
+    "service_p95_queue_wait_s": ("service", "p95_queue_wait_s"),
+    "service_matchmaker_us_per_dispatch": (
+        "service", "matchmaker_us_per_dispatch"
+    ),
 }
 
 

@@ -148,6 +148,12 @@ class CampusCluster:
     def busy_slots(self) -> int:
         return self._busy
 
+    @property
+    def capacity(self) -> int:
+        """Concurrent-job ceiling (what the service layer sizes quotas
+        by): the group allocation, not the whole cluster."""
+        return self.config.group_slots
+
     def queue_status(self) -> dict[str, int]:
         """``condor_q``-style snapshot: idle (queued) vs running."""
         return {"idle": len(self._queue), "running": self._busy}

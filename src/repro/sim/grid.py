@@ -27,10 +27,10 @@ significantly better results").
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable
 
-from repro.dagman.condor import ClassAd, match
+from repro.dagman.condor import ClassAd
 from repro.dagman.dag import DagJob
 from repro.dagman.events import JobAttempt, JobStatus
 from repro.observe.bus import EventBus
@@ -40,6 +40,7 @@ from repro.resilience.faults import resolve_exec
 from repro.sim.engine import Simulator
 from repro.sim.failures import FailureModel
 from repro.sim.machine import MachineSpec, make_machines
+from repro.sim.matchmaker import MATCHMAKERS, Matchmaker, create_matchmaker
 from repro.sim.rng import RngStreams, bounded_lognormal
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -94,33 +95,40 @@ class GridConfig:
         start_failure_prob=0.04, eviction_rate_per_s=1.0 / 20000.0
     )
     unmatched_timeout_s: float = 6 * 3600.0
+    #: Matchmaking strategy: ``indexed`` (capability-signature buckets)
+    #: or ``linear`` (the historical full rescan, kept as the oracle).
+    matchmaker: str = "indexed"
 
     def __post_init__(self) -> None:
         if self.unmatched_timeout_s <= 0:
             raise ValueError("unmatched_timeout_s must be positive")
+        if self.matchmaker not in MATCHMAKERS:
+            raise ValueError(
+                f"unknown matchmaker {self.matchmaker!r}; "
+                f"choose from {sorted(MATCHMAKERS)}"
+            )
 
     def with_sites(self) -> "GridConfig":
         if self.sites:
             return self
-        return GridConfig(
-            name=self.name,
-            sites=_default_sites(),
-            dispatch_latency_s=self.dispatch_latency_s,
-            wait_mean_s=self.wait_mean_s,
-            wait_sigma=self.wait_sigma,
-            wait_spike_prob=self.wait_spike_prob,
-            wait_spike_mean_s=self.wait_spike_mean_s,
-            wait_max_s=self.wait_max_s,
-            setup_mean_s=self.setup_mean_s,
-            setup_sigma=self.setup_sigma,
-            setup_max_s=self.setup_max_s,
-            failures=self.failures,
-            unmatched_timeout_s=self.unmatched_timeout_s,
-        )
+        return replace(self, sites=_default_sites())
 
     @property
     def total_slots(self) -> int:
         return sum(site.slots for site in self.sites)
+
+
+@dataclass(frozen=True)
+class _QueueEntry:
+    """One idle job: its ClassAd is built once at submit time and
+    reused on every dispatch pass (it used to be rebuilt per entry per
+    pass)."""
+
+    job: DagJob
+    on_complete: Callable[[JobAttempt], None]
+    attempt: int
+    submit_time: float
+    ad: ClassAd
 
 
 class OpportunisticGrid:
@@ -165,16 +173,14 @@ class OpportunisticGrid:
                     software_prob=site.software_prob,
                 )
             )
-        self._ads: dict[str, ClassAd] = {
-            m.name: m.classad() for m in self._machines
-        }
         self._by_name: dict[str, MachineSpec] = {
             m.name: m for m in self._machines
         }
-        self._free: list[str] = [m.name for m in self._machines]
-        self._queue: list[
-            tuple[DagJob, Callable[[JobAttempt], None], int, float]
-        ] = []
+        #: Owns the free list, the machine ads, and all match caches.
+        self.matchmaker: Matchmaker = create_matchmaker(
+            self.config.matchmaker, self._machines
+        )
+        self._queue: list[_QueueEntry] = []
         # Jobs that have *arrived* at their slot (setup or payload in
         # progress). ``busy_slots`` counts reserved slots from match
         # time; the paper's utilization numbers must not count the
@@ -200,7 +206,8 @@ class OpportunisticGrid:
         attempt: int = 1,
     ) -> None:
         submit_time = self.now
-        if job.requirements and not self._matchable_at_all(job):
+        ad = self._job_ad(job)
+        if job.requirements and not self.matchmaker.matchable(ad):
             # No resource in the entire pool can ever run this job: it
             # idles in the queue until the hold timeout expires.
             timeout = self.config.unmatched_timeout_s
@@ -224,7 +231,9 @@ class OpportunisticGrid:
 
             self.simulator.schedule(timeout, hold_expired)
             return
-        self._queue.append((job, on_complete, attempt, submit_time))
+        self._queue.append(
+            _QueueEntry(job, on_complete, attempt, submit_time, ad)
+        )
         self._dispatch()
 
     def run_until_complete(self) -> None:
@@ -240,7 +249,12 @@ class OpportunisticGrid:
     def busy_slots(self) -> int:
         """Slots reserved for a job (from match time; includes the
         opportunistic-wait window before the job arrives)."""
-        return len(self._machines) - len(self._free)
+        return self.matchmaker.pool_size - self.matchmaker.free_count
+
+    @property
+    def capacity(self) -> int:
+        """Total pool slots (what the service layer sizes quotas by)."""
+        return self.matchmaker.pool_size
 
     @property
     def occupied_slots(self) -> int:
@@ -302,12 +316,6 @@ class OpportunisticGrid:
             return
         bus.emit(self._terminal_event(record))
 
-    def _matchable_at_all(self, job: DagJob) -> bool:
-        ad = self._job_ad(job)
-        return any(
-            match(ad, [self._ads[name]]) is not None for name in self._ads
-        )
-
     @staticmethod
     def _job_ad(job: DagJob) -> ClassAd:
         return ClassAd(
@@ -318,48 +326,54 @@ class OpportunisticGrid:
         )
 
     def _dispatch(self) -> None:
-        if not self._free:
+        matchmaker = self.matchmaker
+        if not matchmaker.free_count:
             return
-        blocked: set[str] = set()
+        # The blocked set is computed once per pass and shared by every
+        # queued entry (it used to be re-filtered per entry).
+        blocked: frozenset[str] = frozenset()
         if self.blacklist is not None:
-            blocked = {
+            blocked = frozenset(
                 name
-                for name in self._free
+                for name in matchmaker.free_names()
                 if self.blacklist.is_blocked(
                     name, self._by_name[name].site, now=self.now
                 )
-            }
+            )
         still_queued = []
-        for entry in self._queue:
-            job, on_complete, attempt, submit_time = entry
-            candidates = [n for n in self._free if n not in blocked]
-            if not candidates:
-                still_queued.append(entry)
-                continue
-            free_ads = [self._ads[name] for name in candidates]
-            chosen = match(self._job_ad(job), free_ads)
+        for idx, entry in enumerate(self._queue):
+            if not matchmaker.free_count:
+                # Pool exhausted mid-pass: nothing behind can match.
+                still_queued.extend(self._queue[idx:])
+                break
+            chosen = matchmaker.find(entry.ad, blocked=blocked)
             if chosen is None:
                 still_queued.append(entry)
                 continue
-            self._free.remove(chosen.name)
-            machine = self._by_name[chosen.name]
-            self._emit(EventKind.MATCH, job, attempt, machine)
+            matchmaker.claim(chosen)
+            machine = self._by_name[chosen]
+            self._emit(EventKind.MATCH, entry.job, entry.attempt, machine)
             wait = self.config.dispatch_latency_s + self._sample_wait()
             self.simulator.schedule(
                 wait,
-                lambda j=job, cb=on_complete, a=attempt, st=submit_time, m=machine: (
-                    self._arrive(j, cb, a, st, m)
+                lambda e=entry, m=machine: self._arrive(
+                    e.job, e.on_complete, e.attempt, e.submit_time, m
                 ),
             )
         self._queue = still_queued
-        if blocked and self._queue and not self._redispatch_pending:
+        if blocked and self._queue:
             # Blocks excluded candidates; wake up when the earliest one
             # expires so queued jobs are not stranded until the next
             # completion happens to re-run matchmaking.
             self._schedule_redispatch()
 
     def _schedule_redispatch(self) -> None:
+        # Guarded in-method (like the cluster) so any caller — the
+        # dispatch pass, the service layer's wakeups — can request a
+        # redispatch without double-scheduling timers.
         assert self.blacklist is not None
+        if self._redispatch_pending:
+            return
         expiry = self.blacklist.next_expiry(now=self.now)
         if expiry is None:
             return
@@ -555,5 +569,5 @@ class OpportunisticGrid:
 
     def _release(self, machine: MachineSpec) -> None:
         self._occupied -= 1
-        self._free.append(machine.name)
+        self.matchmaker.release(machine.name)
         self._dispatch()

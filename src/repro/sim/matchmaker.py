@@ -1,0 +1,465 @@
+"""Free-slot matchmaking for the platform models.
+
+The grid model pairs queued jobs with free machines through ClassAd
+``match`` (see :mod:`repro.dagman.condor`). Until PR 9 that pairing was
+a linear rescan: every dispatch pass re-evaluated every queued job's
+requirements against every free machine — O(queue × pool) per pass,
+which is exactly the hot path a multi-tenant service layer hammers
+(thousands of concurrent workflows sharing one pool).
+
+Two interchangeable matchmakers implement the same contract:
+
+* :class:`LinearMatchmaker` — the historical scan, verbatim. Kept as
+  the **equivalence oracle**: property tests pin the indexed rewrite to
+  it machine-for-machine (the same pattern PR 7 used for
+  ``LegacyRescanScheduler``).
+* :class:`IndexedMatchmaker` — buckets free machines by *capability
+  signature* (every advertised attribute except the continuous
+  ``speed``). A requirements expression that does not mention ``speed``
+  is constant across a bucket, so one evaluation per bucket replaces
+  one evaluation per machine: a match costs O(buckets) instead of
+  O(pool), and verdicts are memoized per (expression, job attributes,
+  signature). Jobs whose requirements reference ``speed``, ranks other
+  than ``"speed"``, blacklist-blocked passes, and pools whose machines
+  advertise their own requirements all fall back to the linear scan —
+  correctness first, the fast path covers the common shapes.
+
+Both matchmakers own the free list as an insertion-ordered mapping
+``name → free_seq``; the sequence number reproduces the oracle's
+list-order tie-break (earliest-freed machine wins among equals) and
+makes ``claim`` O(1) where the old ``list.remove`` paid O(pool).
+
+Pool-wide admission checks (:meth:`Matchmaker.matchable`) are cached
+per requirements signature and invalidated when pool membership
+changes — the linear oracle deliberately keeps the old re-scan
+behaviour so the fix stays measurable.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import Iterable, Mapping
+
+from repro.dagman.condor import ClassAd, evaluate_requirements, match
+from repro.sim.machine import MachineSpec
+
+__all__ = [
+    "MatchmakerStats",
+    "Matchmaker",
+    "LinearMatchmaker",
+    "IndexedMatchmaker",
+    "create_matchmaker",
+    "MATCHMAKERS",
+]
+
+
+@dataclass
+class MatchmakerStats:
+    """Work counters — what the dispatch-cost benchmarks and the
+    O(pool)-regression tests measure.
+
+    ``ads_scanned`` counts per-machine requirement evaluations on the
+    linear path; ``bucket_probes`` counts per-bucket verdict lookups on
+    the indexed path (cache hits included — the point is that probes
+    scale with bucket count, not pool size).
+    """
+
+    finds: int = 0
+    ads_scanned: int = 0
+    bucket_probes: int = 0
+    linear_fallbacks: int = 0
+    matchable_calls: int = 0
+    matchable_scans: int = 0
+
+
+#: (speed, -free_seq): the oracle's rank ordering — fastest machine
+#: wins, ties go to the machine that has been free the longest.
+_BestKey = tuple[float, int]
+
+
+class Matchmaker:
+    """Free-list bookkeeping shared by both strategies.
+
+    The pool is the fixed set of machines handed to the constructor
+    plus any later :meth:`add_machines`; the *free* subset shrinks via
+    :meth:`claim` and grows via :meth:`release`.
+    """
+
+    def __init__(self, machines: Iterable[MachineSpec]) -> None:
+        self._machines: dict[str, MachineSpec] = {}
+        self.ads: dict[str, ClassAd] = {}
+        self._free: dict[str, int] = {}
+        self._free_seq = 0
+        self.stats = MatchmakerStats()
+        self.add_machines(machines)
+
+    # -- pool membership ------------------------------------------------
+
+    def add_machines(self, machines: Iterable[MachineSpec]) -> None:
+        """Grow the pool; new machines start out free.
+
+        Invalidates every cached pool-wide matchability verdict — a job
+        that matched nothing may match the newcomers.
+        """
+        for machine in machines:
+            if machine.name in self._machines:
+                raise ValueError(f"duplicate machine: {machine.name}")
+            self._machines[machine.name] = machine
+            self.ads[machine.name] = machine.classad()
+            self._mark_free(machine.name)
+            self._index_machine(machine)
+        self._invalidate_pool_caches()
+
+    def remove_machine(self, name: str) -> None:
+        """Shrink the pool (the machine must currently be free).
+
+        Invalidates cached matchability — a requirements shape that
+        matched only this machine is unmatchable afterwards.
+        """
+        if name not in self._machines:
+            raise KeyError(name)
+        if name not in self._free:
+            raise ValueError(f"cannot remove busy machine: {name}")
+        del self._free[name]
+        machine = self._machines.pop(name)
+        del self.ads[name]
+        self._unindex_machine(machine)
+        self._invalidate_pool_caches()
+
+    # -- free-list bookkeeping ------------------------------------------
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._machines)
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def free_names(self) -> list[str]:
+        """Free machines, earliest-freed first (the oracle's scan
+        order)."""
+        return list(self._free)
+
+    def is_free(self, name: str) -> bool:
+        return name in self._free
+
+    def claim(self, name: str) -> None:
+        """Take a free machine out of the free set — O(1)."""
+        del self._free[name]
+
+    def release(self, name: str) -> None:
+        """Return a machine to the free set, behind every machine that
+        is already free (list-append semantics)."""
+        if name in self._free:
+            raise ValueError(f"machine already free: {name}")
+        if name not in self._machines:
+            raise KeyError(name)
+        self._mark_free(name)
+        self._on_release(name)
+
+    def _mark_free(self, name: str) -> None:
+        seq = self._free_seq
+        self._free_seq = seq + 1
+        self._free[name] = seq
+
+    # -- matching -------------------------------------------------------
+
+    def find(
+        self, ad: ClassAd, *, blocked: frozenset[str] = frozenset()
+    ) -> str | None:
+        """The machine the oracle scan would pick for ``ad`` among free,
+        non-blocked machines (``None`` when nothing matches). Does NOT
+        claim it — callers pair ``find`` with :meth:`claim`."""
+        raise NotImplementedError
+
+    def matchable(self, ad: ClassAd) -> bool:
+        """Could *any* machine in the pool — busy or free — ever run
+        this job? (The admission-control question.)"""
+        raise NotImplementedError
+
+    # -- strategy hooks -------------------------------------------------
+
+    def _index_machine(self, machine: MachineSpec) -> None:
+        pass
+
+    def _unindex_machine(self, machine: MachineSpec) -> None:
+        pass
+
+    def _on_release(self, name: str) -> None:
+        pass
+
+    def _invalidate_pool_caches(self) -> None:
+        pass
+
+    # -- the shared linear scan -----------------------------------------
+
+    def _find_linear(
+        self, ad: ClassAd, blocked: frozenset[str]
+    ) -> str | None:
+        candidates = [n for n in self._free if n not in blocked]
+        self.stats.ads_scanned += len(candidates)
+        chosen = match(ad, [self.ads[name] for name in candidates])
+        return chosen.name if chosen is not None else None
+
+    def _matchable_scan(self, ad: ClassAd) -> bool:
+        self.stats.matchable_scans += 1
+        self.stats.ads_scanned += len(self.ads)
+        return any(
+            match(ad, [self.ads[name]]) is not None for name in self.ads
+        )
+
+
+class LinearMatchmaker(Matchmaker):
+    """The historical O(pool) scan, kept bit-for-bit as the oracle.
+
+    Every :meth:`find` walks the free list; every :meth:`matchable`
+    re-scans the whole pool with no memoization (the PR 7 leftover the
+    indexed rewrite fixes) — which is exactly what makes it the honest
+    baseline for the dispatch-cost benchmarks.
+    """
+
+    def find(
+        self, ad: ClassAd, *, blocked: frozenset[str] = frozenset()
+    ) -> str | None:
+        self.stats.finds += 1
+        return self._find_linear(ad, blocked)
+
+    def matchable(self, ad: ClassAd) -> bool:
+        self.stats.matchable_calls += 1
+        return self._matchable_scan(ad)
+
+
+#: A bucket's identity: every advertised attribute except ``speed``.
+_Signature = frozenset
+
+
+@dataclass
+class _Bucket:
+    """Free machines sharing one capability signature."""
+
+    representative: ClassAd
+    #: pool members with this signature (busy or free)
+    pool: set[str] = field(default_factory=set)
+    #: free members (kept for O(1) emptiness checks)
+    free: set[str] = field(default_factory=set)
+    #: lazy max-heap of (-speed, free_seq, name); stale entries (the
+    #: machine was claimed, or re-freed under a newer seq) are popped
+    #: at peek time — the ready-heap idiom from the scheduler rewrite.
+    heap: list[tuple[float, int, str]] = field(default_factory=list)
+
+
+class IndexedMatchmaker(Matchmaker):
+    """Capability-signature buckets with per-bucket best-machine heaps.
+
+    See the module docstring for the strategy; the fallback conditions
+    (speed-referencing requirements, non-``speed`` ranks, blocked
+    machines, machine-side requirements, unhashable attributes) all
+    route through the inherited linear scan so behaviour stays
+    pinned to the oracle in every case.
+    """
+
+    def __init__(self, machines: Iterable[MachineSpec]) -> None:
+        self._buckets: dict[_Signature, _Bucket] = {}
+        self._sig_of: dict[str, _Signature] = {}
+        self._bucketable = True
+        #: (expr, job-attrs, signature) → bool requirement verdict
+        self._verdicts: dict[tuple, bool] = {}
+        #: (expr, job-attrs) → pool-wide matchability
+        self._matchable_cache: dict[tuple, bool] = {}
+        #: expr → referenced names (None = unparseable)
+        self._expr_names: dict[str, frozenset[str] | None] = {}
+        super().__init__(machines)
+
+    # -- indexing -------------------------------------------------------
+
+    @staticmethod
+    def _signature(ad: ClassAd) -> _Signature | None:
+        try:
+            return frozenset(
+                (k, v) for k, v in ad.attributes.items() if k != "speed"
+            )
+        except TypeError:
+            return None  # unhashable attribute value
+
+    def _index_machine(self, machine: MachineSpec) -> None:
+        ad = self.ads[machine.name]
+        sig = self._signature(ad)
+        if sig is None or ad.requirements is not None:
+            # An exotic pool: match() must see each machine individually.
+            self._bucketable = False
+            return
+        bucket = self._buckets.get(sig)
+        if bucket is None:
+            bucket = self._buckets[sig] = _Bucket(
+                representative=ClassAd(
+                    name="bucket-representative", attributes=dict(sig)
+                )
+            )
+        self._sig_of[machine.name] = sig
+        bucket.pool.add(machine.name)
+        self._push_free(machine.name, bucket)
+
+    def _unindex_machine(self, machine: MachineSpec) -> None:
+        sig = self._sig_of.pop(machine.name, None)
+        if sig is None:
+            return
+        bucket = self._buckets[sig]
+        bucket.pool.discard(machine.name)
+        bucket.free.discard(machine.name)
+        if not bucket.pool:
+            del self._buckets[sig]
+
+    def _push_free(self, name: str, bucket: _Bucket) -> None:
+        bucket.free.add(name)
+        heappush(
+            bucket.heap,
+            (-self._machines[name].speed, self._free[name], name),
+        )
+
+    def _on_release(self, name: str) -> None:
+        sig = self._sig_of.get(name)
+        if sig is not None:
+            self._push_free(name, self._buckets[sig])
+
+    def claim(self, name: str) -> None:
+        super().claim(name)
+        sig = self._sig_of.get(name)
+        if sig is not None:
+            self._buckets[sig].free.discard(name)
+
+    def _invalidate_pool_caches(self) -> None:
+        # Bucket verdicts depend only on (expr, job, signature) and stay
+        # valid; pool-wide matchability does not survive membership
+        # changes — the satellite-2 bug was never invalidating anything.
+        self._matchable_cache.clear()
+
+    # -- expression analysis --------------------------------------------
+
+    def _names_in(self, expr: str) -> frozenset[str] | None:
+        cached = self._expr_names.get(expr)
+        if cached is None and expr not in self._expr_names:
+            try:
+                tree = ast.parse(expr, mode="eval")
+            except SyntaxError:
+                cached = None  # linear path will raise identically
+            else:
+                cached = frozenset(
+                    node.id
+                    for node in ast.walk(tree)
+                    if isinstance(node, ast.Name)
+                )
+            self._expr_names[expr] = cached
+        return cached
+
+    @staticmethod
+    def _job_key(ad: ClassAd) -> tuple | None:
+        try:
+            return (ad.requirements, frozenset(ad.attributes.items()))
+        except TypeError:
+            return None
+
+    def _indexable(self, ad: ClassAd) -> bool:
+        if not self._bucketable or ad.rank != "speed":
+            return False
+        if ad.requirements is None:
+            return True
+        names = self._names_in(ad.requirements)
+        return names is not None and "speed" not in names
+
+    def _verdict(
+        self, expr: str, job_key: tuple, ad: ClassAd, sig: _Signature,
+        bucket: _Bucket,
+    ) -> bool:
+        key = (expr, job_key, sig)
+        cached = self._verdicts.get(key)
+        if cached is None:
+            cached = evaluate_requirements(
+                expr, bucket.representative, my=ad
+            )
+            self._verdicts[key] = cached
+        return cached
+
+    # -- matching -------------------------------------------------------
+
+    def find(
+        self, ad: ClassAd, *, blocked: frozenset[str] = frozenset()
+    ) -> str | None:
+        self.stats.finds += 1
+        job_key = self._job_key(ad)
+        if blocked or job_key is None or not self._indexable(ad):
+            # Blocked machines may sit on bucket tops without being
+            # claimable; the (rare, chaos-only) pass scans linearly.
+            self.stats.linear_fallbacks += 1
+            return self._find_linear(ad, blocked)
+        expr = ad.requirements
+        best: _BestKey | None = None
+        best_name: str | None = None
+        free_seq = self._free
+        for sig, bucket in self._buckets.items():
+            if not bucket.free:
+                continue
+            self.stats.bucket_probes += 1
+            if expr is not None and not self._verdict(
+                expr, job_key, ad, sig, bucket
+            ):
+                continue
+            heap = bucket.heap
+            while heap:
+                neg_speed, seq, name = heap[0]
+                if name in bucket.free and free_seq.get(name) == seq:
+                    break
+                heappop(heap)  # stale: claimed or re-freed under new seq
+            if not heap:
+                continue
+            neg_speed, seq, name = heap[0]
+            key: _BestKey = (-neg_speed, -seq)
+            if best is None or key > best:
+                best, best_name = key, name
+        return best_name
+
+    def matchable(self, ad: ClassAd) -> bool:
+        self.stats.matchable_calls += 1
+        job_key = self._job_key(ad)
+        if job_key is None:
+            return self._matchable_scan(ad)
+        cached = self._matchable_cache.get(job_key)
+        if cached is not None:
+            return cached
+        expr = ad.requirements
+        if expr is None:
+            verdict = bool(self.ads)
+        elif not self._bucketable or (
+            (names := self._names_in(expr)) is None or "speed" in names
+        ):
+            verdict = self._matchable_scan(ad)
+        else:
+            verdict = any(
+                bucket.pool
+                and self._verdict(expr, job_key, ad, sig, bucket)
+                for sig, bucket in self._buckets.items()
+            )
+        self._matchable_cache[job_key] = verdict
+        return verdict
+
+
+MATCHMAKERS: Mapping[str, type[Matchmaker]] = {
+    "linear": LinearMatchmaker,
+    "indexed": IndexedMatchmaker,
+}
+
+
+def create_matchmaker(
+    strategy: str, machines: Iterable[MachineSpec]
+) -> Matchmaker:
+    """Instantiate a matchmaker by config name (``indexed``/``linear``)."""
+    try:
+        cls = MATCHMAKERS[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown matchmaker {strategy!r}; "
+            f"choose from {sorted(MATCHMAKERS)}"
+        ) from None
+    return cls(machines)
