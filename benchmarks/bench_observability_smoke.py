@@ -7,31 +7,47 @@ utilization sampler — and writes every exporter's artifact under
 
 * ``observability_<platform>_events.jsonl``  — live event log;
 * ``observability_<platform>_trace.chrome.json`` — Perfetto-loadable;
+* ``observability_<platform>_trace.otlp.json`` — OTLP-JSON causal spans;
+* ``observability_<platform>_trace.perfetto.json`` — TracePackets;
 * ``observability_<platform>_utilization.tsv`` — sampled time series;
 * ``observability_smoke.txt`` — consistency report.
 
 The assertions are the acceptance criteria for the observe layer: the
 bus-derived trace must equal the scheduler's own trace, the statistics
 computed from the event stream must match ``pegasus-statistics`` over
-the classic trace, and the live status view must agree with both.
+the classic trace, the live status view must agree with both, the
+span-derived critical path must agree with the attribution buckets,
+and — the zero-overhead guard — a run with nothing subscribed must
+construct zero events and zero spans. The measured span-tracing
+overhead lands in the per-platform report as
+``tracing.overhead_pct``, which CI gates at 10 % via ``repro-report
+compare --fail-on tracing_overhead_pct=10``.
 """
 
 import json
+import time
 
 from conftest import RESULTS_DIR, update_bench_report, write_result
 
 from repro.core.workflow_factory import simulate_paper_run
 from repro.observe import (
+    AnomalyMonitor,
     EventBus,
     EventKind,
+    EventLogWriter,
     EventRecorder,
+    SpanTracer,
     StatusView,
     UtilizationSample,
+    derive_trace_id,
     events_to_trace,
     instrument,
     read_events,
+    spans_created,
     write_chrome_trace,
     write_events,
+    write_otlp_trace,
+    write_perfetto_trace,
 )
 from repro.observe.report import build_report
 from repro.wms.monitor import read_trace
@@ -40,6 +56,9 @@ from repro.wms.statistics import render_report, summarize, summarize_events
 N = 300
 SEED = 0
 SAMPLE_INTERVAL_S = 300.0
+#: CI gate (repro-report compare --fail-on tracing_overhead_pct=10).
+OVERHEAD_GATE_PCT = 10.0
+OVERHEAD_REPEATS = 3
 
 
 def _observed_run(platform, model):
@@ -48,14 +67,68 @@ def _observed_run(platform, model):
     metrics = instrument(bus)
     view = StatusView()
     bus.subscribe(view.update)
+    tracer = SpanTracer(
+        trace_id=derive_trace_id(f"smoke-{platform}-n{N}-seed{SEED}"),
+        bus=bus,
+    )
+    monitor = AnomalyMonitor(bus)
     result, planned = simulate_paper_run(
         N, platform, seed=SEED, model=model,
         bus=bus, sample_interval_s=SAMPLE_INTERVAL_S,
     )
-    return result, planned, recorder, metrics, view
+    return result, planned, recorder, metrics, view, tracer, monitor
 
 
-def test_observability_smoke(paper_model, benchmark):
+def _timed_run(platform, model, tmp_path, *, traced):
+    """Wall seconds for one fully-observed run, with or without the
+    tracer + anomaly monitor riding the bus.
+
+    The baseline arm is the observer stack ``repro-run`` always
+    attaches — recorder, metrics registry, live status view, and the
+    JSONL event-log writer — so ``tracing.overhead_pct`` measures what
+    the *span layer* adds to a production-observed run, not to an
+    artificially bare one.
+    """
+    bus = EventBus()
+    EventRecorder(bus)
+    instrument(bus)
+    view = StatusView()
+    bus.subscribe(view.update)
+    writer = EventLogWriter(
+        tmp_path / f"overhead-{platform}-{traced}-{time.monotonic_ns()}.jsonl"
+    )
+    bus.subscribe(writer)
+    if traced:
+        SpanTracer(bus=bus)
+        AnomalyMonitor(bus)
+    t0 = time.perf_counter()
+    result, _ = simulate_paper_run(N, platform, seed=SEED, model=model,
+                                   bus=bus)
+    elapsed = time.perf_counter() - t0
+    writer.close()
+    assert result.success
+    return elapsed
+
+
+def test_tracing_zero_overhead_when_detached(paper_model):
+    """The zero-overhead guard: with nothing subscribed, every emitter
+    takes the ``bus.active`` fast path — no RunEvent and no Span is
+    ever constructed, and the bus never even counts an emit."""
+    bus = EventBus()  # no subscribers: scheduler + platforms go deaf
+    spans_before = spans_created()
+    result, _ = simulate_paper_run(N, "sandhills", seed=SEED,
+                                   model=paper_model, bus=bus)
+    assert result.success
+    assert bus.emitted == 0, (
+        "a deaf bus still constructed events — an emitter skipped the "
+        "bus.active fast path"
+    )
+    assert spans_created() == spans_before, (
+        "spans were constructed with no tracer attached"
+    )
+
+
+def test_observability_smoke(paper_model, benchmark, tmp_path):
     RESULTS_DIR.mkdir(exist_ok=True)
     report_lines = [
         f"Observability smoke — n={N}, seed={SEED}, "
@@ -63,12 +136,34 @@ def test_observability_smoke(paper_model, benchmark):
         "",
     ]
     bench_sections: dict[str, dict] = {}
+    # Span-tracing cost, measured once on the cheaper platform: best
+    # of K fully-observed runs with vs without the tracer + monitor.
+    bare = min(
+        _timed_run("sandhills", paper_model, tmp_path, traced=False)
+        for _ in range(OVERHEAD_REPEATS)
+    )
+    traced = min(
+        _timed_run("sandhills", paper_model, tmp_path, traced=True)
+        for _ in range(OVERHEAD_REPEATS)
+    )
+    overhead_pct = max(0.0, (traced - bare) / bare * 100.0)
+    assert overhead_pct < OVERHEAD_GATE_PCT, (
+        f"span tracing costs {overhead_pct:.1f}% "
+        f"(gate {OVERHEAD_GATE_PCT:.0f}%)"
+    )
+    report_lines += [
+        f"tracing overhead: {overhead_pct:.2f}% "
+        f"(bare {bare:.3f}s vs traced {traced:.3f}s, "
+        f"best of {OVERHEAD_REPEATS})",
+        "",
+    ]
     for platform in ("sandhills", "osg"):
-        result, planned, recorder, metrics, view = _observed_run(
-            platform, paper_model
+        result, planned, recorder, metrics, view, tracer, monitor = (
+            _observed_run(platform, paper_model)
         )
         assert result.success, f"{platform} run failed"
         events = recorder.events
+        spans = tracer.finish()
 
         # -- the bus is a faithful second witness of the run --------------
         bus_trace = events_to_trace(events)
@@ -130,6 +225,39 @@ def test_observability_smoke(paper_model, benchmark):
         exec_events = [e for e in complete if e["cat"] == "exec"]
         assert len(exec_events) == len(result.trace)
 
+        # -- OTLP + Perfetto span exports validate structurally -----------
+        otlp_path = RESULTS_DIR / f"observability_{platform}_trace.otlp.json"
+        write_otlp_trace(otlp_path, spans)
+        otlp = json.loads(otlp_path.read_text())
+        otlp_spans = otlp["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert len(otlp_spans) == len(spans)
+        ids = {s["spanId"] for s in otlp_spans}
+        assert len(ids) == len(otlp_spans), "span ids must be unique"
+        for s in otlp_spans:
+            assert len(s["traceId"]) == 32 and len(s["spanId"]) == 16
+            assert int(s["endTimeUnixNano"]) >= int(s["startTimeUnixNano"])
+            if s.get("parentSpanId"):
+                assert s["parentSpanId"] in ids, "dangling parent"
+
+        perfetto_path = (
+            RESULTS_DIR / f"observability_{platform}_trace.perfetto.json"
+        )
+        write_perfetto_trace(perfetto_path, spans)
+        perfetto = json.loads(perfetto_path.read_text())
+        tracks = {
+            p["trackDescriptor"]["uuid"]
+            for p in perfetto["packet"] if "trackDescriptor" in p
+        }
+        slices = [p for p in perfetto["packet"] if "trackEvent" in p]
+        assert tracks and slices
+        assert all(p["trackEvent"]["trackUuid"] in tracks for p in slices)
+        begins = sum(
+            1 for p in slices
+            if p["trackEvent"]["type"] == "TYPE_SLICE_BEGIN"
+        )
+        ends = len(slices) - begins
+        assert begins == ends, "unbalanced Perfetto slice stack"
+
         util_path = RESULTS_DIR / f"observability_{platform}_utilization.tsv"
         util_path.write_text(
             "time_s\tbusy\tidle\n"
@@ -141,7 +269,7 @@ def test_observability_smoke(paper_model, benchmark):
 
         # -- makespan attribution: the buckets must tile the makespan --
         attribution = build_report(
-            result.trace, dag=planned.dag,
+            result.trace, dag=planned.dag, events=events,
             label=f"smoke-{platform}-n{N}-seed{SEED}",
         )
         assert (
@@ -151,6 +279,21 @@ def test_observability_smoke(paper_model, benchmark):
             )
             < 1e-6
         ), "attribution buckets do not sum to the makespan"
+        # ...and the span-derived critical path must agree with it:
+        # two independent decompositions of the same makespan.
+        trace_section = attribution["trace"]
+        assert trace_section["agrees_with_attribution"], (
+            f"span critical path disagrees with attribution by "
+            f"{trace_section['max_bucket_delta_s']:.3f}s"
+        )
+        assert (
+            abs(trace_section["tiling_total_s"] - trace_section["makespan_s"])
+            < 1e-6
+        ), "span tiling does not sum to the makespan"
+        attribution["tracing"] = {
+            "overhead_pct": round(overhead_pct, 3),
+            "gate_pct": OVERHEAD_GATE_PCT,
+        }
         report_path = RESULTS_DIR / f"observability_{platform}_report.json"
         report_path.write_text(json.dumps(attribution, indent=2) + "\n")
         bench_sections[platform] = {
@@ -158,6 +301,10 @@ def test_observability_smoke(paper_model, benchmark):
             "attribution": attribution["attribution"],
             "counts": attribution["counts"],
             "kickstart": attribution["kickstart"],
+            "spans": len(spans),
+            "trace_agrees": trace_section["agrees_with_attribution"],
+            "alerts": len(monitor.alerts),
+            "tracing_overhead_pct": round(overhead_pct, 3),
         }
 
         report_lines += [
@@ -165,6 +312,9 @@ def test_observability_smoke(paper_model, benchmark):
             f"attempts={len(result.trace)} retries={result.trace.retry_count}",
             f"[{platform}] events={len(events)} samples={len(samples)} "
             f"peak_busy_sampled={peak_sampled}",
+            f"[{platform}] spans={len(spans)} "
+            f"alerts={len(monitor.alerts)} "
+            f"span-critical-path == attribution: OK",
             f"[{platform}] bus-trace == scheduler-trace: OK; "
             "summarize_events == summarize: OK",
             "",

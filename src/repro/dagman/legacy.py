@@ -104,7 +104,16 @@ class LegacyRescanScheduler(DagmanScheduler):
                     self.states[child] is NodeState.UNREADY
                     and self._parents_done(child)
                 ):
-                    self._set_state(child, NodeState.READY)
+                    # Same causal stamp as the incremental scheduler:
+                    # this completion is what released the child.
+                    self._set_state(
+                        child,
+                        NodeState.READY,
+                        cause={
+                            "released_by": name,
+                            "released_attempt": attempt.attempt,
+                        },
+                    )
         elif self._may_retry(name, attempt):
             self._requeue(name, attempt)
         else:

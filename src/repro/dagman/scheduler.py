@@ -376,8 +376,8 @@ class DagmanScheduler:
     def _emit(self, kind: EventKind, *, job: DagJob | None = None,
               attempt: int | None = None,
               detail: dict | None = None) -> None:
-        if self.bus is None:
-            return
+        if self.bus is None or not self.bus.active:
+            return  # deaf bus: skip event construction (PR 7 fast path)
         self.bus.emit(
             RunEvent(
                 kind,
@@ -389,7 +389,12 @@ class DagmanScheduler:
             )
         )
 
-    def _set_state(self, name: str, state: NodeState) -> None:
+    def _set_state(
+        self, name: str, state: NodeState, *, cause: dict | None = None
+    ) -> None:
+        """``cause`` adds causal context to the ``state_change`` event
+        (e.g. ``released_by``: which parent's completion made a child
+        READY) — what the span tracer turns into explicit links."""
         previous = self.states[name]
         self.states[name] = state
         if state in _TERMINAL_STATES and previous not in _TERMINAL_STATES:
@@ -411,11 +416,14 @@ class DagmanScheduler:
         if previous is NodeState.READY and state is not NodeState.READY:
             self._ready_count -= 1
         if state is not previous:
+            detail: dict = {"from": previous.value, "to": state.value}
+            if cause:
+                detail.update(cause)
             self._emit(
                 EventKind.STATE_CHANGE,
                 job=self.dag.jobs[name],
                 attempt=self._attempt[name] or None,
-                detail={"from": previous.value, "to": state.value},
+                detail=detail,
             )
 
     def _submit_ready(self) -> None:
@@ -472,7 +480,14 @@ class DagmanScheduler:
         self._attempt[name] += 1
         self._in_flight += 1
         job = self.dag.jobs[name]
-        self._emit(EventKind.SUBMIT, job=job, attempt=self._attempt[name])
+        self._emit(
+            EventKind.SUBMIT,
+            job=job,
+            attempt=self._attempt[name],
+            # The planner's expected runtime seeds the straggler
+            # detector's per-transformation baseline.
+            detail={"expected_s": job.runtime},
+        )
         self.environment.submit(
             job, self._make_listener(name), attempt=self._attempt[name]
         )
@@ -502,7 +517,17 @@ class DagmanScheduler:
                 remaining = pending[child] - 1
                 pending[child] = remaining
                 if remaining == 0 and states[child] is NodeState.UNREADY:
-                    self._set_state(child, NodeState.READY)
+                    # This parent's completion is the release edge: it
+                    # is by definition the child's latest-finishing
+                    # parent, i.e. the critical-path predecessor.
+                    self._set_state(
+                        child,
+                        NodeState.READY,
+                        cause={
+                            "released_by": name,
+                            "released_attempt": attempt.attempt,
+                        },
+                    )
         else:
             # Accounting happens here, once per completed attempt —
             # never inside _may_retry, which callers must be able to

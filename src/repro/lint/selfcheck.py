@@ -16,8 +16,16 @@ The kind expression must be ``EventKind.<member>`` with a real member,
 a conditional whose branches both are, or a local name assigned from
 one. Dynamically computed kinds (parameters, comprehensions) pass —
 the checker is deliberately conservative: it flags only provable
-typos, never style. Run as ``python -m repro.lint.selfcheck src/repro``
-(CI does) — exit 1 lists each offending ``file:line``.
+typos, never style.
+
+It also audits the taxonomy's own documentation: every registered
+``EventKind`` member must appear in the table in
+``repro.observe.events``' module docstring, so adding a kind (the
+``trace.*`` / ``anomaly.*`` families included) without documenting
+what it means and what its ``detail`` carries fails CI.
+
+Run as ``python -m repro.lint.selfcheck src/repro`` (CI does) —
+exit 1 lists each offending ``file:line``.
 """
 
 from __future__ import annotations
@@ -29,7 +37,7 @@ from typing import Iterator
 
 from repro.observe.events import EventKind
 
-__all__ = ["check_source", "check_paths", "main"]
+__all__ = ["check_source", "check_paths", "check_kind_docs", "main"]
 
 #: Method names whose first argument is an event kind.
 EMIT_NAMES = frozenset({"_emit", "emit"})
@@ -144,13 +152,32 @@ def check_paths(paths: list[str | Path]) -> list[str]:
     return problems
 
 
+def check_kind_docs() -> list[str]:
+    """Registered kinds missing from the taxonomy docstring table.
+
+    :mod:`repro.observe.events` documents every kind in a table
+    (``kind value`` → meaning + ``detail`` payload); a member whose
+    value never appears there is an undocumented event family.
+    """
+    import repro.observe.events as events_module
+
+    doc = events_module.__doc__ or ""
+    return [
+        f"repro/observe/events.py: EventKind.{member.name} "
+        f"({member.value!r}) is not documented in the module "
+        "docstring's taxonomy table"
+        for member in EventKind
+        if member.value not in doc
+    ]
+
+
 def main(argv: list[str] | None = None) -> int:
     """CI entry point: ``python -m repro.lint.selfcheck src/repro``."""
     args = argv if argv is not None else sys.argv[1:]
     if not args:
         print("usage: python -m repro.lint.selfcheck PATH...", file=sys.stderr)
         return 2
-    problems = check_paths(list(args))
+    problems = check_paths(list(args)) + check_kind_docs()
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:

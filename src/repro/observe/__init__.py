@@ -14,6 +14,9 @@ those numbers and the live view both come from:
 * :mod:`repro.observe.profile` — kickstart resource profiling (rusage
   capture for real runs, calibrated models for simulated ones);
 * :mod:`repro.observe.analysis` — critical-path makespan attribution;
+* :mod:`repro.observe.trace` — causal span tracing + OTLP/Perfetto export;
+* :mod:`repro.observe.anomaly` — online anomaly detectors (stragglers,
+  queue-wait spikes, blacklist storms, SLO burn);
 * :mod:`repro.observe.report` — ``repro-report`` analyze/compare CLI.
 
 One run, fully observed::
@@ -31,6 +34,14 @@ from repro.observe.analysis import (
     MakespanAttribution,
     aggregate_components,
     attribute_makespan,
+)
+from repro.observe.anomaly import (
+    AnomalyMonitor,
+    BlacklistStormDetector,
+    QueueWaitDetector,
+    RollingStats,
+    SloBurnDetector,
+    StragglerDetector,
 )
 from repro.observe.bus import (
     EventBus,
@@ -62,6 +73,21 @@ from repro.observe.metrics import (
 from repro.observe.profile import RusageProbe, modelled_profile
 from repro.observe.sampler import UtilizationSample, UtilizationSampler
 from repro.observe.status import StatusView, render_status
+from repro.observe.trace import (
+    Span,
+    SpanCriticalPath,
+    SpanLink,
+    SpanTracer,
+    critical_path_from_spans,
+    derive_span_id,
+    derive_trace_id,
+    spans_created,
+    spans_from_events,
+    to_otlp_json,
+    to_perfetto_json,
+    write_otlp_trace,
+    write_perfetto_trace,
+)
 
 __all__ = [
     "MakespanAttribution",
@@ -96,6 +122,25 @@ __all__ = [
     "UtilizationSampler",
     "StatusView",
     "render_status",
+    "AnomalyMonitor",
+    "BlacklistStormDetector",
+    "QueueWaitDetector",
+    "RollingStats",
+    "SloBurnDetector",
+    "StragglerDetector",
+    "Span",
+    "SpanCriticalPath",
+    "SpanLink",
+    "SpanTracer",
+    "critical_path_from_spans",
+    "derive_span_id",
+    "derive_trace_id",
+    "spans_created",
+    "spans_from_events",
+    "to_otlp_json",
+    "to_perfetto_json",
+    "write_otlp_trace",
+    "write_perfetto_trace",
 ]
 
 _REPORT_EXPORTS = ("build_report", "compare_reports", "load_report")

@@ -127,7 +127,11 @@ def chrome_trace(
         by_job.setdefault(a.job_name, []).append(a)
     flow_id = 0
     for job_name in sorted(by_job):
-        attempts = sorted(by_job[job_name], key=lambda a: a.attempt)
+        # Order by submit time first: rescue rounds restart attempt
+        # numbering at 1, so a merged multi-round trace sorted by
+        # attempt alone would zig-zag backwards in time and the arrows
+        # straddling a --resume boundary would be dropped.
+        attempts = sorted(by_job[job_name], key=lambda a: (a.submit_time, a.attempt))
         for prev, nxt in zip(attempts, attempts[1:]):
             flow_id += 1
             common = {"name": "retry", "cat": "retry", "id": flow_id}

@@ -52,6 +52,21 @@ kind                      meaning
 ``service.workflow_done`` a tenant workflow finished (``detail`` has
                           tenant/workflow/succeeded plus turnaround_s
                           and queue_wait_s for SLO accounting)
+``trace.span``            the causal tracer closed a span
+                          (``detail`` has span/kind/trace_id/span_id;
+                          see :mod:`repro.observe.trace`)
+``anomaly.straggler``     an attempt is running far past its
+                          per-transformation baseline (``detail`` has
+                          elapsed_s/expected_s/factor)
+``anomaly.queue_wait``    an attempt waited in queue far longer than
+                          the site's rolling baseline (``detail`` has
+                          wait_s/baseline_s/queue_depth)
+``anomaly.blacklist``     blacklist storm: the circuit breaker fired
+                          repeatedly inside a short window (``detail``
+                          has count/window_s)
+``anomaly.slo_burn``      a tenant is burning its SLO budget: too many
+                          recent workflows missed the turnaround
+                          target (``detail`` has burn_rate/target_s)
 ========================  ==============================================
 
 Terminal events (``job.finish`` / ``job.evict``) carry the full
@@ -97,6 +112,11 @@ class EventKind(Enum):
     SERVICE_ADMIT = "service.admit"
     SERVICE_REJECT = "service.reject"
     SERVICE_WORKFLOW_DONE = "service.workflow_done"
+    TRACE_SPAN = "trace.span"
+    ANOMALY_STRAGGLER = "anomaly.straggler"
+    ANOMALY_QUEUE_WAIT = "anomaly.queue_wait"
+    ANOMALY_BLACKLIST_STORM = "anomaly.blacklist"
+    ANOMALY_SLO_BURN = "anomaly.slo_burn"
 
 
 #: Kinds that end one attempt and carry its full :class:`JobAttempt`.

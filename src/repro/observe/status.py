@@ -3,9 +3,10 @@
 :func:`render_status` is a pure function events → text, so the same
 code serves the one-shot CLI call, the ``--follow`` tail loop, and the
 tests. It reports DAGMan's state histogram, the jobs currently on the
-platform (with how long they have been there), and the run's headline
-counters — everything the paper's user would watch during the 10⁴-second
-OSG runs.
+platform (with how long they have been there), the run's headline
+counters, and an ALERTS pane tailing the online ``anomaly.*`` detector
+stream — everything the paper's user would watch during the
+10⁴-second OSG runs.
 """
 
 from __future__ import annotations
@@ -35,11 +36,17 @@ class StatusView:
         self.rescue_rounds = 0
         self.last_time = 0.0
         self.workflow_done: bool | None = None  # success flag once ended
+        #: every ``anomaly.*`` event seen, in arrival order (the
+        #: ALERTS pane renders the tail of this)
+        self.alerts: list[RunEvent] = []
 
     def update(self, event: RunEvent) -> None:
         self.last_time = max(self.last_time, event.time)
         kind = event.kind
         name = event.job_name
+        if kind.value.startswith("anomaly."):
+            self.alerts.append(event)
+            return
         if kind is EventKind.STATE_CHANGE and name is not None:
             self.states[name] = str(event.detail.get("to", "?"))
         elif kind is EventKind.SUBMIT and name is not None:
@@ -94,7 +101,7 @@ class StatusView:
             counts[state] = counts.get(state, 0) + 1
         return counts
 
-    def render(self, *, max_in_flight: int = 10) -> str:
+    def render(self, *, max_in_flight: int = 10, max_alerts: int = 5) -> str:
         total = self.total_jobs if self.total_jobs is not None else len(self.states)
         done = len(self.done)
         pct = 100.0 * done / total if total else 0.0
@@ -140,13 +147,32 @@ class StatusView:
                 )
             if len(self.in_flight) > max_in_flight:
                 lines.append(f"  … {len(self.in_flight) - max_in_flight} more")
+        if self.alerts:
+            lines.append(f"ALERTS ({len(self.alerts)}):")
+            for alert in self.alerts[-max_alerts:]:
+                subject = alert.job_name or str(
+                    alert.detail.get("tenant")
+                    or alert.site
+                    or "-"
+                )
+                why = "  ".join(
+                    f"{k}={v}"
+                    for k, v in alert.detail.items()
+                    if k != "tenant" and not isinstance(v, (dict, list))
+                )[:60]
+                lines.append(
+                    f"  t={alert.time:,.0f}s  {alert.kind.value:<18s} "
+                    f"{subject:<24s} {why}"
+                )
+            if len(self.alerts) > max_alerts:
+                lines.append(f"  … {len(self.alerts) - max_alerts} earlier")
         return "\n".join(lines)
 
 
 def render_status(
     events: Iterable[RunEvent], *, total_jobs: int | None = None,
-    max_in_flight: int = 10,
+    max_in_flight: int = 10, max_alerts: int = 5,
 ) -> str:
     """One-shot render of an event stream's current status."""
     view = StatusView(total_jobs=total_jobs).feed(events)
-    return view.render(max_in_flight=max_in_flight)
+    return view.render(max_in_flight=max_in_flight, max_alerts=max_alerts)

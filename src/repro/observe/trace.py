@@ -1,0 +1,950 @@
+"""Causal span tracing over the lifecycle event stream.
+
+:mod:`repro.observe.events` records *what* happened; this module
+records *why*. A :class:`SpanTracer` subscribes to the
+:class:`~repro.observe.bus.EventBus` and folds the flat event stream
+into a hierarchy of :class:`Span` objects with explicit causal links —
+the shape pegasus-monitord feeds STAMPEDE, in modern trace clothing:
+
+.. code-block:: text
+
+    run ─┬─ service:<wf>  (WaaS admission / fair-share window)
+         │     └─ admission
+         └─ workflow[:<wf>]
+               └─ job:<name>          ← link: released_by (parent's
+                     └─ attempt n       final attempt freed this job)
+                           ├─ waiting  ← link: retry_of (attempt n-1,
+                           ├─ setup      incl. eviction → retry chains
+                           └─ exec       and cross-rescue-round resumes)
+
+Causal links (:class:`SpanLink`, ``attributes["relation"]``):
+
+``released_by``
+    a child job's span links the parent attempt whose completion
+    flipped its pending-parent count to zero (the scheduler stamps
+    ``released_by`` into the ``job.state_change`` → ready event).
+``retry_of``
+    attempt *n* links attempt *n-1* of the same job — including
+    eviction→retry chains and the cross-round hop where a rescue
+    resubmit restarts numbering at 1.
+``rescue_continuation``
+    a rescue round's workflow span links the previous round's.
+``journal_resume``
+    after ``repro-run --resume``, the resumed workflow span links the
+    deterministic run-root span of the *same* trace: the trace id is
+    persisted in the PR 8 write-ahead journal, so the pre-crash and
+    post-resume exports join into one causally-connected trace.
+
+IDs are W3C trace-context shaped (32-hex trace id, 16-hex span id) and
+fully deterministic: derived by SHA-256 from the trace id, the span
+name, and a per-name occurrence counter — no wall clock, no RNG, so a
+given run always produces byte-identical traces and a resumed process
+recreates the same run-root id its predecessor had.
+
+Zero cost when detached: the tracer is just another bus subscriber, so
+the PR 7 ``bus.active`` fast path still skips event *construction*
+entirely when nothing listens; :func:`spans_created` exposes a process
+counter the benchmarks assert stays flat on an untraced run. Near-zero
+cost when attached: by default the tracer only *buffers* events during
+the run (one list append each) and runs the causal fold once in
+:meth:`SpanTracer.finish` — the record-cheap / process-at-export split
+tracing backends use; ``announce=True`` opts into online folding so
+each span close is re-emitted live as a ``trace.span`` event.
+
+Exports: :func:`write_otlp_trace` (OTLP-JSON, one resourceSpans
+envelope) and :func:`write_perfetto_trace` (Perfetto protobuf-JSON
+TracePackets, machine-lane slices) complement the existing Chrome
+trace; :func:`critical_path_from_spans` re-derives the PR 5 makespan
+attribution purely from spans and their causal links, which
+``repro-report analyze`` cross-checks against
+:func:`~repro.observe.analysis.attribute_makespan`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.dagman.events import JobAttempt, JobStatus
+from repro.observe.bus import EventBus
+from repro.observe.events import EventKind, RunEvent
+
+__all__ = [
+    "Span",
+    "SpanLink",
+    "SpanTracer",
+    "SpanCriticalPath",
+    "critical_path_from_spans",
+    "derive_span_id",
+    "derive_trace_id",
+    "spans_created",
+    "spans_from_events",
+    "to_otlp_json",
+    "to_perfetto_json",
+    "write_otlp_trace",
+    "write_perfetto_trace",
+]
+
+_EPS = 1e-9
+
+#: Process-wide count of Span objects ever constructed — the
+#: zero-overhead benchmark guard asserts this stays flat across an
+#: untraced run (proof the bus fast path kept span construction at 0).
+_SPANS_CREATED = 0
+
+
+def spans_created() -> int:
+    """Total :class:`Span` objects constructed in this process."""
+    return _SPANS_CREATED
+
+
+def derive_trace_id(seed: str) -> str:
+    """Deterministic 32-hex (W3C style) trace id from a seed string."""
+    return hashlib.sha256(f"trace:{seed}".encode()).hexdigest()[:32]
+
+
+def derive_span_id(trace_id: str, name: str, index: int) -> str:
+    """Deterministic 16-hex span id: same trace/name/occurrence →
+    same id, in any process (what makes resume continuations work)."""
+    digest = hashlib.sha256(f"span:{trace_id}:{name}:{index}".encode())
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class SpanLink:
+    """A causal edge to another span (``attributes["relation"]``)."""
+
+    trace_id: str
+    span_id: str
+    attributes: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One timed unit of work in the causal hierarchy.
+
+    ``kind`` is the level: ``run`` | ``workflow`` | ``service`` |
+    ``job`` | ``attempt`` | ``phase``. ``end is None`` while open.
+    """
+
+    name: str
+    kind: str
+    trace_id: str
+    span_id: str
+    parent_span_id: str | None
+    start: float
+    end: float | None = None
+    attributes: dict[str, object] = field(default_factory=dict)
+    links: list[SpanLink] = field(default_factory=list)
+    status: str = "unset"  # "unset" | "ok" | "error"
+
+    def __post_init__(self) -> None:
+        global _SPANS_CREATED
+        _SPANS_CREATED += 1
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+
+class _JobState:
+    """Per-(scope, job) tracer bookkeeping (one rescue round's worth)."""
+
+    __slots__ = ("span", "attempts", "final_attempt", "prev_final")
+
+    def __init__(self, span: Span, prev_final: Span | None = None) -> None:
+        self.span = span
+        self.attempts: dict[int, Span] = {}
+        self.final_attempt: Span | None = None
+        self.prev_final = prev_final
+
+
+class SpanTracer:
+    """Bus subscriber that folds lifecycle events into causal spans.
+
+    Attach with ``bus.subscribe(tracer)`` (or pass ``bus=``); call
+    :meth:`finish` after the run to close any still-open spans. The
+    same instance also works offline over a recorded event list (see
+    :func:`spans_from_events`).
+
+    With ``announce=True`` and an active bus, every span close emits a
+    ``trace.span`` event — which the tracer itself ignores on input,
+    as it does all ``anomaly.*`` kinds, so monitors and tracers can
+    share one bus without feedback.
+    """
+
+    def __init__(
+        self,
+        trace_id: str | None = None,
+        *,
+        seed: str = "repro",
+        bus: EventBus | None = None,
+        announce: bool = False,
+    ) -> None:
+        self.trace_id = trace_id or derive_trace_id(seed)
+        self.spans: list[Span] = []
+        self._bus = bus
+        self._announce = announce
+        self._counts: dict[str, int] = {}
+        self._run: Span | None = None
+        self._workflows: dict[str, Span] = {}
+        self._last_workflow: dict[str, Span] = {}
+        self._jobs: dict[tuple[str, str], _JobState] = {}
+        self._services: dict[str, Span] = {}
+        self._admissions: dict[str, Span] = {}
+        self._pending_release: dict[tuple[str, str], dict[str, object]] = {}
+        self._pending_phases: list[tuple[Span, JobAttempt]] = []
+        self._buffer: list[RunEvent] = []
+        self._pending_resume: dict[str, object] | None = None
+        self._pending_rescue: dict[str, object] | None = None
+        self._last_time = 0.0
+        # Per-kind dispatch: one dict probe on the hot path. Kinds
+        # outside the span model — exec starts, utilization samples,
+        # resilience instants, the tracer's own ``trace.span`` output
+        # and the monitor's ``anomaly.*`` families — miss the table
+        # and return immediately, so tracers and monitors can share a
+        # bus without feedback loops.
+        self._handlers: dict[EventKind, Callable[[RunEvent, float], None]] = {
+            EventKind.WORKFLOW_START: self._h_workflow_start,
+            EventKind.WORKFLOW_END: self._h_workflow_end,
+            EventKind.SUBMIT: self._h_submit,
+            EventKind.STATE_CHANGE: self._h_state_change,
+            EventKind.FINISH: self._h_terminal,
+            EventKind.EVICT: self._h_terminal,
+            EventKind.MATCH: self._h_match,
+            EventKind.RETRY: self._h_retry,
+            EventKind.TIMEOUT: self._h_timeout,
+            EventKind.RESCUE: self._h_rescue,
+            EventKind.JOURNAL_RESUME: self._h_journal_resume,
+            EventKind.SERVICE_SUBMIT: self._h_service_submit,
+            EventKind.SERVICE_ADMIT: self._h_service_admit,
+            EventKind.SERVICE_REJECT: self._h_service_reject,
+            EventKind.SERVICE_WORKFLOW_DONE: self._h_service_done,
+        }
+        if bus is not None:
+            bus.subscribe(self)
+
+    # -- span plumbing ------------------------------------------------
+
+    def _span(
+        self,
+        name: str,
+        kind: str,
+        parent: Span | None,
+        start: float,
+        attributes: dict[str, object] | None = None,
+    ) -> Span:
+        key = f"{kind}:{name}"
+        index = self._counts.get(key, 0)
+        self._counts[key] = index + 1
+        span = Span(
+            name=name,
+            kind=kind,
+            trace_id=self.trace_id,
+            span_id=derive_span_id(self.trace_id, key, index),
+            parent_span_id=parent.span_id if parent is not None else None,
+            start=start,
+            attributes=attributes if attributes is not None else {},
+        )
+        self.spans.append(span)
+        return span
+
+    def _close(self, span: Span, end: float, status: str = "ok") -> None:
+        if span.end is not None:
+            return
+        span.end = max(end, span.start)
+        span.status = status
+        if self._announce and self._bus is not None and self._bus.active:
+            self._bus.emit(
+                RunEvent(
+                    EventKind.TRACE_SPAN,
+                    span.end,
+                    job_name=(
+                        str(span.attributes["job"])
+                        if "job" in span.attributes
+                        else None
+                    ),
+                    detail={
+                        "span": span.name,
+                        "span_kind": span.kind,
+                        "trace_id": span.trace_id,
+                        "span_id": span.span_id,
+                        "duration_s": span.duration,
+                        "status": status,
+                    },
+                )
+            )
+
+    def _ensure_run(self, t: float) -> Span:
+        if self._run is None:
+            self._run = self._span("run", "run", None, t)
+        return self._run
+
+    @property
+    def run_root_span_id(self) -> str:
+        """The deterministic run-root id for this trace (same in every
+        process that shares the trace id — the resume link anchor)."""
+        return derive_span_id(self.trace_id, "run:run", 0)
+
+    # -- event handling ----------------------------------------------
+
+    def __call__(self, event: RunEvent) -> None:
+        # Ring-buffer discipline: while the run is live the tracer only
+        # *records* (one append per event); the causal fold runs once in
+        # :meth:`finish`, off the simulated run's hot path — the same
+        # record-cheap / process-offline split real tracing backends
+        # use. ``announce=True`` opts back into online folding, since
+        # live ``trace.span`` emission needs spans to exist live.
+        if self._announce:
+            self._ingest(event)
+        else:
+            self._buffer.append(event)
+
+    def _ingest(self, event: RunEvent) -> None:
+        handler = self._handlers.get(event.kind)
+        if handler is None:
+            return  # outside the span model (see _handlers comment)
+        t = event.time
+        if t > self._last_time:
+            self._last_time = t
+        handler(event, t)
+
+    @staticmethod
+    def _scope(event: RunEvent) -> str:
+        workflow = event.detail.get("workflow")
+        return str(workflow) if workflow else ""
+
+    def _h_workflow_start(self, event: RunEvent, t: float) -> None:
+        self._on_workflow_start(
+            event, self._ensure_run(t), self._scope(event), t
+        )
+
+    def _h_workflow_end(self, event: RunEvent, t: float) -> None:
+        span = self._workflows.pop(self._scope(event), None)
+        if span is not None:
+            self._close(span, t)
+            self._last_workflow[self._scope(event)] = span
+
+    def _h_submit(self, event: RunEvent, t: float) -> None:
+        self._on_submit(event, self._ensure_run(t), self._scope(event), t)
+
+    def _h_state_change(self, event: RunEvent, t: float) -> None:
+        self._ensure_run(t)
+        self._on_state_change(event, self._scope(event), t)
+
+    def _h_terminal(self, event: RunEvent, t: float) -> None:
+        self._on_terminal(event, self._scope(event))
+
+    def _h_match(self, event: RunEvent, t: float) -> None:
+        self._on_match(event, self._scope(event), t)
+
+    def _h_retry(self, event: RunEvent, t: float) -> None:
+        state = self._jobs.get((self._scope(event), event.job_name or ""))
+        if state is not None:
+            retries = state.span.attributes.get("retries", 0)
+            state.span.attributes["retries"] = int(retries) + 1  # type: ignore[call-overload]
+
+    def _h_timeout(self, event: RunEvent, t: float) -> None:
+        state = self._jobs.get((self._scope(event), event.job_name or ""))
+        if state is not None and event.attempt in state.attempts:
+            state.attempts[event.attempt].attributes["timeout"] = True
+
+    def _h_rescue(self, event: RunEvent, t: float) -> None:
+        self._pending_rescue = dict(event.detail)
+
+    def _h_journal_resume(self, event: RunEvent, t: float) -> None:
+        self._pending_resume = dict(event.detail)
+        self._ensure_run(t).attributes["resumed"] = True
+
+    def _h_service_submit(self, event: RunEvent, t: float) -> None:
+        self._on_service_submit(
+            event, self._ensure_run(t), self._scope(event), t
+        )
+
+    def _h_service_admit(self, event: RunEvent, t: float) -> None:
+        scope = self._scope(event)
+        admission = self._admissions.pop(scope, None)
+        if admission is not None:
+            self._close(admission, t)
+        service = self._services.get(scope)
+        if service is not None:
+            service.attributes["admitted"] = True
+
+    def _h_service_reject(self, event: RunEvent, t: float) -> None:
+        scope = self._scope(event)
+        admission = self._admissions.pop(scope, None)
+        if admission is not None:
+            admission.attributes["reason"] = str(
+                event.detail.get("reason", "")
+            )
+            self._close(admission, t, status="error")
+        service = self._services.pop(scope, None)
+        if service is not None:
+            self._close(service, t, status="error")
+
+    def _h_service_done(self, event: RunEvent, t: float) -> None:
+        service = self._services.pop(self._scope(event), None)
+        if service is not None:
+            succeeded = bool(event.detail.get("succeeded", True))
+            for attr in ("succeeded", "turnaround_s", "queue_wait_s"):
+                if attr in event.detail:
+                    service.attributes[attr] = event.detail[attr]
+            self._close(service, t, status="ok" if succeeded else "error")
+
+    def _on_workflow_start(
+        self, event: RunEvent, run: Span, scope: str, t: float
+    ) -> None:
+        parent: Span = self._services.get(scope, run)
+        name = f"workflow:{scope}" if scope else "workflow"
+        attrs: dict[str, object] = {}
+        if scope:
+            attrs["workflow"] = scope
+        for extra in ("tenant", "jobs", "round"):
+            if extra in event.detail:
+                attrs[extra] = event.detail[extra]
+        span = self._span(name, "workflow", parent, t, attrs)
+        previous = self._last_workflow.get(scope)
+        if previous is not None:
+            link_attrs: dict[str, object] = {"relation": "rescue_continuation"}
+            if self._pending_rescue is not None:
+                for extra in ("round", "failed", "remaining"):
+                    if extra in self._pending_rescue:
+                        link_attrs[extra] = self._pending_rescue[extra]
+            span.links.append(
+                SpanLink(self.trace_id, previous.span_id, link_attrs)
+            )
+            self._pending_rescue = None
+        if self._pending_resume is not None:
+            link_attrs = {"relation": "journal_resume"}
+            for extra in ("replayed", "done", "torn", "clock"):
+                if extra in self._pending_resume:
+                    link_attrs[extra] = self._pending_resume[extra]
+            # The run-root id is deterministic per trace id, so this
+            # link lands on the pre-crash process's root span.
+            span.links.append(
+                SpanLink(self.trace_id, self.run_root_span_id, link_attrs)
+            )
+            self._pending_resume = None
+        self._workflows[scope] = span
+
+    def _on_submit(
+        self, event: RunEvent, run: Span, scope: str, t: float
+    ) -> None:
+        name = event.job_name or ""
+        key = (scope, name)
+        state = self._jobs.get(key)
+        if state is None or state.span.end is not None:
+            attrs: dict[str, object] = {"job": name}
+            if event.transformation:
+                attrs["transformation"] = event.transformation
+            if event.site:
+                attrs["site"] = event.site
+            if "tenant" in event.detail:
+                attrs["tenant"] = event.detail["tenant"]
+            parent = self._workflows.get(scope) or run
+            span = self._span(f"job:{name}", "job", parent, t, attrs)
+            prev_final = state.final_attempt if state is not None else None
+            if state is not None:
+                # A rescue round re-running a failed job: new span,
+                # explicitly chained to the previous round's.
+                span.links.append(
+                    SpanLink(
+                        self.trace_id,
+                        state.span.span_id,
+                        {"relation": "rescue_continuation"},
+                    )
+                )
+            release = self._pending_release.pop(key, None)
+            if release is not None:
+                parent_name = str(release.get("released_by", ""))
+                span.attributes["released_by"] = parent_name
+                parent_state = self._jobs.get((scope, parent_name))
+                if (
+                    parent_state is not None
+                    and parent_state.final_attempt is not None
+                ):
+                    span.links.append(
+                        SpanLink(
+                            self.trace_id,
+                            parent_state.final_attempt.span_id,
+                            {
+                                "relation": "released_by",
+                                "parent": parent_name,
+                            },
+                        )
+                    )
+            state = _JobState(span, prev_final=prev_final)
+            self._jobs[key] = state
+        attempt = event.attempt or 1
+        attrs = {"job": name, "attempt": attempt}
+        if event.site:
+            attrs["site"] = event.site
+        if event.transformation:
+            attrs["transformation"] = event.transformation
+        if "expected_s" in event.detail:
+            attrs["expected_s"] = event.detail["expected_s"]
+        aspan = self._span(
+            f"{name}/attempt-{attempt}", "attempt", state.span, t, attrs
+        )
+        previous = state.attempts.get(attempt - 1)
+        if previous is None and attempt == 1:
+            previous = state.prev_final  # cross-rescue-round retry
+        if previous is not None:
+            aspan.links.append(
+                SpanLink(
+                    self.trace_id,
+                    previous.span_id,
+                    {
+                        "relation": "retry_of",
+                        "prior_status": str(
+                            previous.attributes.get("status", "")
+                        ),
+                    },
+                )
+            )
+        state.attempts[attempt] = aspan
+
+    def _on_state_change(self, event: RunEvent, scope: str, t: float) -> None:
+        to = str(event.detail.get("to", ""))
+        name = event.job_name or ""
+        if to == "ready" and "released_by" in event.detail:
+            self._pending_release[(scope, name)] = dict(event.detail)
+        elif to in ("done", "failed", "unrunnable"):
+            state = self._jobs.get((scope, name))
+            if state is not None and state.span.end is None:
+                self._close(
+                    state.span, t, status="ok" if to == "done" else "error"
+                )
+
+    def _on_terminal(self, event: RunEvent, scope: str) -> None:
+        record = event.record
+        if record is None:
+            return
+        state = self._jobs.get((scope, event.job_name or ""))
+        if state is None:
+            return
+        aspan = state.attempts.get(record.attempt)
+        if aspan is None or aspan.end is not None:
+            return
+        aspan.attributes.update(
+            machine=record.machine,
+            status=record.status.value,
+            submit_time=record.submit_time,
+            setup_start=record.setup_start,
+            exec_start=record.exec_start,
+            exec_end=record.exec_end,
+        )
+        if record.error:
+            aspan.attributes["error"] = record.error
+        # Phase child spans are fully derivable from the timestamps
+        # just stamped on the attempt, so their materialization is
+        # deferred to finish() — off the run's hot path (they are the
+        # bulk of a trace's span count and nothing reads them live).
+        self._pending_phases.append((aspan, record))
+        ok = record.status is JobStatus.SUCCEEDED
+        self._close(aspan, record.exec_end, status="ok" if ok else "error")
+        state.final_attempt = aspan
+
+    def _materialize_phases(self) -> None:
+        pending, self._pending_phases = self._pending_phases, []
+        for aspan, record in pending:
+            common: dict[str, object] = {
+                "job": record.job_name,
+                "attempt": record.attempt,
+                "machine": record.machine,
+                "site": record.site,
+            }
+            prefix = f"{record.job_name}/a{record.attempt}"
+            if record.setup_start - record.submit_time > _EPS:
+                waiting = self._span(
+                    f"{prefix}/waiting",
+                    "phase",
+                    aspan,
+                    record.submit_time,
+                    {**common, "phase": "waiting"},
+                )
+                self._close(waiting, record.setup_start)
+            if record.exec_start - record.setup_start > _EPS:
+                setup = self._span(
+                    f"{prefix}/setup",
+                    "phase",
+                    aspan,
+                    record.setup_start,
+                    {**common, "phase": "setup"},
+                )
+                self._close(setup, record.exec_start)
+            execution = self._span(
+                f"{prefix}/exec",
+                "phase",
+                aspan,
+                record.exec_start,
+                {**common, "phase": "exec"},
+            )
+            self._close(execution, record.exec_end)
+
+    def _on_match(self, event: RunEvent, scope: str, t: float) -> None:
+        state = self._jobs.get((scope, event.job_name or ""))
+        if state is None:
+            return
+        aspan = state.attempts.get(event.attempt or 1)
+        if aspan is None:
+            return
+        if event.machine:
+            aspan.attributes["machine"] = event.machine
+        aspan.attributes["match_time"] = t
+        if "queue_depth" in event.detail:
+            aspan.attributes["queue_depth"] = event.detail["queue_depth"]
+
+    def _on_service_submit(
+        self, event: RunEvent, run: Span, scope: str, t: float
+    ) -> None:
+        attrs: dict[str, object] = {}
+        for extra in ("tenant", "workflow", "jobs"):
+            if extra in event.detail:
+                attrs[extra] = event.detail[extra]
+        service = self._span(f"service:{scope}", "service", run, t, attrs)
+        self._services[scope] = service
+        self._admissions[scope] = self._span(
+            f"service:{scope}/admission",
+            "phase",
+            service,
+            t,
+            {"phase": "admission"},
+        )
+
+    # -- lifecycle ----------------------------------------------------
+
+    def finish(self, at: float | None = None) -> list[Span]:
+        """Fold any buffered events into spans, close every still-open
+        span (children before parents) and return the full span list.
+
+        Until this is called, :attr:`spans` is empty unless the tracer
+        was constructed with ``announce=True`` (online folding)."""
+        buffered, self._buffer = self._buffer, []
+        for event in buffered:
+            self._ingest(event)
+        self._materialize_phases()
+        end = self._last_time if at is None else max(at, self._last_time)
+        for span in reversed(self.spans):
+            if span.end is None:
+                self._close(span, end, status=span.status or "unset")
+        return self.spans
+
+
+def spans_from_events(
+    events: Iterable[RunEvent],
+    *,
+    trace_id: str | None = None,
+    seed: str = "events",
+) -> list[Span]:
+    """Offline folding: replay a recorded event stream into spans."""
+    tracer = SpanTracer(trace_id=trace_id, seed=seed)
+    for event in events:
+        tracer(event)
+    return tracer.finish()
+
+
+# -- trace-derived critical path -------------------------------------
+
+
+@dataclass
+class SpanCriticalPath:
+    """The makespan re-derived purely from spans and causal links.
+
+    ``buckets`` uses the same five-way split as
+    :class:`~repro.observe.analysis.MakespanAttribution` and tiles
+    ``[start_s, end_s]`` exactly, so it can be cross-checked
+    bucket-for-bucket against the event-record attribution.
+    """
+
+    makespan_s: float
+    start_s: float
+    end_s: float
+    buckets: dict[str, float]
+    path_jobs: list[str] = field(default_factory=list)
+
+    def total(self) -> float:
+        return sum(self.buckets.values())
+
+
+def critical_path_from_spans(spans: Sequence[Span]) -> SpanCriticalPath:
+    """Walk ``released_by`` links backward from the last-finishing
+    attempt and tile the makespan into the standard five buckets.
+
+    The chain hop uses the *causal* edge the scheduler recorded (which
+    parent's completion released each job), so on a clean run it
+    reproduces :func:`repro.wms.statistics.critical_path` — the parent
+    that flips the pending count to zero is by definition the
+    latest-finishing parent.
+    """
+    from repro.observe.analysis import BUCKETS
+
+    buckets = {b: 0.0 for b in BUCKETS}
+    attempts = [
+        s
+        for s in spans
+        if s.kind == "attempt" and s.end is not None and "exec_end" in s.attributes
+    ]
+    if not attempts:
+        return SpanCriticalPath(0.0, 0.0, 0.0, buckets)
+    released_by = {
+        str(s.attributes["job"]): str(s.attributes["released_by"])
+        for s in spans
+        if s.kind == "job" and "released_by" in s.attributes
+    }
+
+    def _num(span: Span, attr: str) -> float:
+        return float(span.attributes[attr])  # type: ignore[arg-type]
+
+    final: dict[str, Span] = {}
+    first_submit: dict[str, float] = {}
+    for s in attempts:
+        job = str(s.attributes["job"])
+        submit = _num(s, "submit_time")
+        first_submit[job] = min(first_submit.get(job, submit), submit)
+        prior = final.get(job)
+        if prior is None or int(s.attributes["attempt"]) > int(  # type: ignore[call-overload]
+            prior.attributes["attempt"]
+        ):
+            final[job] = s
+    start_s = min(first_submit.values())
+    end_s = max(_num(s, "exec_end") for s in attempts)
+
+    current = max(
+        final.values(),
+        key=lambda s: (_num(s, "exec_end"), str(s.attributes["job"])),
+    )
+    chain = [current]
+    seen = {str(current.attributes["job"])}
+    while True:
+        parent = released_by.get(str(chain[-1].attributes["job"]))
+        if parent is None or parent in seen or parent not in final:
+            break
+        seen.add(parent)
+        chain.append(final[parent])
+    chain.reverse()
+
+    cursor = start_s
+
+    def tile(until: float, bucket: str) -> None:
+        nonlocal cursor
+        capped = min(until, end_s)
+        if capped <= cursor + _EPS:
+            return
+        buckets[bucket] += capped - cursor
+        cursor = capped
+
+    for s in chain:
+        job = str(s.attributes["job"])
+        tile(first_submit[job], "idle")
+        tile(_num(s, "submit_time"), "retry_lost")
+        tile(_num(s, "setup_start"), "waiting")
+        tile(_num(s, "exec_start"), "setup")
+        tile(_num(s, "exec_end"), "exec")
+    tile(end_s, "idle")
+
+    return SpanCriticalPath(
+        makespan_s=end_s - start_s,
+        start_s=start_s,
+        end_s=end_s,
+        buckets=buckets,
+        path_jobs=[str(s.attributes["job"]) for s in chain],
+    )
+
+
+# -- OTLP-JSON export -------------------------------------------------
+
+_OTLP_STATUS = {
+    "unset": "STATUS_CODE_UNSET",
+    "ok": "STATUS_CODE_OK",
+    "error": "STATUS_CODE_ERROR",
+}
+
+
+def _otlp_value(value: object) -> dict[str, object]:
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}  # proto3 JSON: int64 as string
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _otlp_attrs(attrs: Mapping[str, object]) -> list[dict[str, object]]:
+    return [{"key": k, "value": _otlp_value(v)} for k, v in attrs.items()]
+
+
+def to_otlp_json(
+    spans: Sequence[Span],
+    *,
+    service_name: str = "repro",
+    resource_attributes: Mapping[str, object] | None = None,
+) -> dict[str, object]:
+    """Render spans as one OTLP-JSON ``ExportTraceServiceRequest``
+    (the ``resourceSpans`` envelope any OTLP/HTTP collector accepts)."""
+    rendered: list[dict[str, object]] = []
+    for s in spans:
+        end = s.end if s.end is not None else s.start
+        entry: dict[str, object] = {
+            "traceId": s.trace_id,
+            "spanId": s.span_id,
+            "name": s.name,
+            "kind": "SPAN_KIND_INTERNAL",
+            "startTimeUnixNano": str(int(round(s.start * 1e9))),
+            "endTimeUnixNano": str(int(round(end * 1e9))),
+            "attributes": _otlp_attrs(
+                {"repro.span_kind": s.kind, **s.attributes}
+            ),
+            "status": {"code": _OTLP_STATUS[s.status]},
+        }
+        if s.parent_span_id is not None:
+            entry["parentSpanId"] = s.parent_span_id
+        if s.links:
+            entry["links"] = [
+                {
+                    "traceId": link.trace_id,
+                    "spanId": link.span_id,
+                    "attributes": _otlp_attrs(link.attributes),
+                }
+                for link in s.links
+            ]
+        rendered.append(entry)
+    resource: dict[str, object] = {"service.name": service_name}
+    if resource_attributes:
+        resource.update(resource_attributes)
+    return {
+        "resourceSpans": [
+            {
+                "resource": {"attributes": _otlp_attrs(resource)},
+                "scopeSpans": [
+                    {
+                        "scope": {
+                            "name": "repro.observe.trace",
+                            "version": "1",
+                        },
+                        "spans": rendered,
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def write_otlp_trace(
+    path: str | Path, spans: Sequence[Span], **kwargs: object
+) -> Path:
+    """Write :func:`to_otlp_json` output to ``path`` and return it."""
+    out = Path(path)
+    out.write_text(
+        json.dumps(to_otlp_json(spans, **kwargs), indent=1) + "\n"  # type: ignore[arg-type]
+    )
+    return out
+
+
+# -- Perfetto protobuf-JSON export -----------------------------------
+
+
+def _perfetto_track(span: Span) -> str | None:
+    """Track assignment; ``None`` drops the span from the lane view.
+
+    Lanes must nest (Perfetto slices are begin/end stacks), so:
+    machine lanes carry only the setup/exec occupancy phases (waiting
+    happens *off* the machine and is omitted, as in the Chrome trace);
+    job spans overlap arbitrarily and live only in the OTLP export.
+    """
+    if span.kind == "run":
+        return "run"
+    if span.kind == "workflow":
+        scope = span.attributes.get("workflow")
+        return f"workflow:{scope}" if scope else "workflow"
+    if span.kind == "service":
+        return f"service:{span.attributes.get('workflow', span.name)}"
+    if span.kind == "phase":
+        phase = span.attributes.get("phase")
+        if phase == "admission":
+            return f"service:{span.attributes.get('workflow', span.name)}"
+        if phase in ("setup", "exec"):
+            machine = span.attributes.get("machine")
+            if machine:
+                return f"{span.attributes.get('site', '')}/{machine}"
+    return None
+
+
+def to_perfetto_json(spans: Sequence[Span]) -> dict[str, object]:
+    """Render spans as Perfetto protobuf-JSON ``TracePacket`` list
+    (``traceconv`` / ui.perfetto.dev accept this shape directly)."""
+    packets: list[dict[str, object]] = []
+    track_uuids: dict[str, int] = {}
+
+    def track(name: str) -> int:
+        uuid = track_uuids.get(name)
+        if uuid is None:
+            uuid = len(track_uuids) + 1
+            track_uuids[name] = uuid
+            packets.append({"trackDescriptor": {"uuid": uuid, "name": name}})
+        return uuid
+
+    by_id = {s.span_id: s for s in spans}
+
+    def depth(span: Span) -> int:
+        d = 0
+        parent = span.parent_span_id
+        while parent is not None and d < 16:
+            node = by_id.get(parent)
+            if node is None:
+                break
+            d += 1
+            parent = node.parent_span_id
+        return d
+
+    # (ts, 0=end first at equal ts, ±depth: parents open first and
+    # close last) keeps every lane a well-formed slice stack.
+    slices: list[tuple[float, int, int, int, Span]] = []
+    for s in spans:
+        if s.end is None:
+            continue
+        lane = _perfetto_track(s)
+        if lane is None:
+            continue
+        uuid = track(lane)
+        d = depth(s)
+        slices.append((s.start, 1, d, uuid, s))
+        slices.append((s.end, 0, -d, uuid, s))
+    slices.sort(key=lambda item: (item[0], item[1], item[2]))
+    for ts, begin, _, uuid, s in slices:
+        ns = int(round(ts * 1e9))
+        if begin:
+            packets.append(
+                {
+                    "timestamp": ns,
+                    "trustedPacketSequenceId": 1,
+                    "trackEvent": {
+                        "type": "TYPE_SLICE_BEGIN",
+                        "trackUuid": uuid,
+                        "name": s.name,
+                    },
+                }
+            )
+        else:
+            packets.append(
+                {
+                    "timestamp": ns,
+                    "trustedPacketSequenceId": 1,
+                    "trackEvent": {
+                        "type": "TYPE_SLICE_END",
+                        "trackUuid": uuid,
+                    },
+                }
+            )
+    return {"packet": packets}
+
+
+def write_perfetto_trace(path: str | Path, spans: Sequence[Span]) -> Path:
+    """Write :func:`to_perfetto_json` output to ``path`` and return it."""
+    out = Path(path)
+    out.write_text(json.dumps(to_perfetto_json(spans), indent=1) + "\n")
+    return out

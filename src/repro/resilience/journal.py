@@ -113,13 +113,19 @@ DURABLE_KINDS = frozenset(
         EventKind.HELD,
         EventKind.BLACKLIST,
         EventKind.RESCUE,
+        # Tenant workflow completions: the WaaS layer's SLO accounting
+        # must count pre-crash completions exactly once after a resume
+        # (see WorkflowService.restore_completions).
+        EventKind.SERVICE_WORKFLOW_DONE,
     }
 )
 
 #: Journal-internal record kinds (the ``/`` keeps them out of the
-#: ``EventKind`` namespace): segment headers and worker-pid notes.
+#: ``EventKind`` namespace): segment headers, worker-pid notes, and
+#: the causal-trace id (so a resumed run extends the same trace).
 _META_OPEN = "journal/open"
 _META_WORKERS = "journal/workers"
+_META_TRACE = "journal/trace"
 
 
 class JournalError(RuntimeError):
@@ -228,6 +234,12 @@ class JournalState:
     clock: float = 0.0
     manager_pid: int | None = None
     worker_pids: list[int] = field(default_factory=list)
+    #: W3C-style trace id recorded by the span tracer — a resumed run
+    #: reuses it so pre-crash and post-resume spans share one trace.
+    trace_id: str | None = None
+    #: journaled tenant workflow completions (SLO accounting), each
+    #: ``{tenant, workflow, succeeded, turnaround_s, queue_wait_s}``
+    service_done: list[dict] = field(default_factory=list)
 
     def apply(
         self, data: Mapping[str, object], raw: str | None = None
@@ -314,6 +326,24 @@ class JournalState:
             self.resubmitting = None
         elif kind == "workflow.end":
             self.workflow_done = bool(data.get("success"))
+        elif kind == "service.workflow_done":
+            self.service_done.append(
+                {
+                    key: data.get(key)
+                    for key in (
+                        "tenant",
+                        "workflow",
+                        "succeeded",
+                        "turnaround_s",
+                        "queue_wait_s",
+                    )
+                    if key in data
+                }
+            )
+        elif kind == _META_TRACE:
+            trace_id = data.get("trace_id")
+            if isinstance(trace_id, str):
+                self.trace_id = trace_id
         elif kind == _META_OPEN:
             pid = data.get("pid")
             if isinstance(pid, int):
@@ -353,6 +383,8 @@ class JournalState:
             "clock": self.clock,
             "manager_pid": self.manager_pid,
             "worker_pids": list(self.worker_pids),
+            "trace_id": self.trace_id,
+            "service_done": [dict(d) for d in self.service_done],
         }
         if include_records:
             out["records"] = list(self.records)
@@ -410,6 +442,13 @@ class JournalState:
         pids = data.get("worker_pids")
         if isinstance(pids, list):
             state.worker_pids = [p for p in pids if isinstance(p, int)]
+        trace_id = data.get("trace_id")
+        state.trace_id = trace_id if isinstance(trace_id, str) else None
+        service_done = data.get("service_done")
+        if isinstance(service_done, list):
+            state.service_done = [
+                dict(d) for d in service_done if isinstance(d, Mapping)
+            ]
         return state
 
     def copy(self) -> "JournalState":
@@ -551,6 +590,14 @@ class Journal:
         if self._dead:
             return
         self._append({"event": _META_WORKERS, "pids": sorted(pids)})
+
+    def record_trace_id(self, trace_id: str) -> None:
+        """Persist the causal-trace id so a resumed run extends the
+        same trace (idempotent: a resume that re-records the recovered
+        id writes nothing)."""
+        if self._dead or self._state.trace_id == trace_id:
+            return
+        self._append({"event": _META_TRACE, "trace_id": trace_id})
 
     def attach_blacklist(self, blacklist: "Blacklist") -> None:
         """Snapshot this blacklist's full state (policy + streaks +
@@ -751,6 +798,19 @@ class RecoveredState:
     def clock(self) -> float:
         """Highest journaled event time — the resume clock offset."""
         return self.state.clock
+
+    @property
+    def trace_id(self) -> str | None:
+        """The journaled causal-trace id (resume reuses it so the
+        post-crash spans extend the pre-crash trace)."""
+        return self.state.trace_id
+
+    @property
+    def service_completions(self) -> list[dict]:
+        """Journaled tenant workflow completions — feed to
+        :meth:`repro.service.WorkflowService.restore_completions` so
+        post-resume SLO reports count each pre-crash workflow once."""
+        return [dict(d) for d in self.state.service_done]
 
     @property
     def complete(self) -> bool:

@@ -136,6 +136,24 @@ def run_with_recovery(
         current = resume.resume_dag(dag)
         start_round = resume.state.rescue_round + 1
         restore = resume.scheduler_restore()
+        if bus is not None and bus.active:
+            # Announce the continuation on the live stream: the span
+            # tracer links the resumed workflow back to the pre-crash
+            # trace root, the status view shows where replay ended.
+            bus.emit(
+                RunEvent(
+                    EventKind.JOURNAL_RESUME,
+                    resume.clock,
+                    detail={
+                        "replayed": resume.replayed,
+                        "done": len(resume.done),
+                        "torn": resume.torn_tail,
+                        "clock": resume.clock,
+                        "round": start_round,
+                        "trace_id": resume.trace_id,
+                    },
+                )
+            )
     last_round_no = max(max_rounds, start_round)
     for round_no in range(start_round, last_round_no + 1):
         env = environment(round_no) if callable(environment) else environment

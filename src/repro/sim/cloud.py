@@ -194,7 +194,8 @@ class CloudPlatform:
     # -- internals ------------------------------------------------------
 
     def _emit(self, kind: EventKind, job: DagJob, attempt: int,
-              instance: _Instance) -> None:
+              instance: _Instance,
+              detail: dict | None = None) -> None:
         bus = self.bus
         if bus is None or not bus.active:
             return  # deaf bus: skip event construction entirely
@@ -207,6 +208,7 @@ class CloudPlatform:
                 site=self.config.name,
                 machine=instance.name,
                 attempt=attempt,
+                detail=detail or {},
             )
         )
 
@@ -219,7 +221,10 @@ class CloudPlatform:
                     instance.idle_event.cancel()
                     instance.idle_event = None
                 self._queue.pop(0)
-                self._emit(EventKind.MATCH, job, attempt, instance)
+                self._emit(
+                    EventKind.MATCH, job, attempt, instance,
+                    detail={"queue_depth": len(self._queue)},
+                )
                 self._start_on(
                     instance, job, on_complete, attempt, submit_time,
                     booted=True,
@@ -235,7 +240,10 @@ class CloudPlatform:
                 self.peak_instances = max(
                     self.peak_instances, self.running_instances
                 )
-                self._emit(EventKind.MATCH, job, attempt, instance)
+                self._emit(
+                    EventKind.MATCH, job, attempt, instance,
+                    detail={"queue_depth": len(self._queue)},
+                )
                 boot = self.config.dispatch_latency_s + bounded_lognormal(
                     self._boot_rng,
                     self.config.boot_mean_s,

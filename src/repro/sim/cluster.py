@@ -159,7 +159,8 @@ class CampusCluster:
         return {"idle": len(self._queue), "running": self._busy}
 
     def _emit(self, kind: EventKind, job: DagJob, attempt: int,
-              machine: MachineSpec) -> None:
+              machine: MachineSpec,
+              detail: dict | None = None) -> None:
         bus = self.bus
         if bus is None or not bus.active:
             return  # deaf bus: skip event construction entirely
@@ -172,6 +173,7 @@ class CampusCluster:
                 site=self.config.name,
                 machine=machine.name,
                 attempt=attempt,
+                detail=detail or {},
             )
         )
 
@@ -186,7 +188,10 @@ class CampusCluster:
             job, on_complete, attempt, submit_time = self._queue.popleft()
             self._busy += 1
             self.peak_busy = max(self.peak_busy, self._busy)
-            self._emit(EventKind.MATCH, job, attempt, machine)
+            self._emit(
+                EventKind.MATCH, job, attempt, machine,
+                detail={"queue_depth": len(self._queue)},
+            )
             wait = self.config.dispatch_latency_s + bounded_lognormal(
                 self._wait_rng,
                 self.config.queue_wait_mean_s,

@@ -276,7 +276,8 @@ class OpportunisticGrid:
         }
 
     def _emit(self, kind: EventKind, job: DagJob, attempt: int,
-              machine: MachineSpec) -> None:
+              machine: MachineSpec,
+              detail: dict | None = None) -> None:
         bus = self.bus
         if bus is None or not bus.active:
             return  # deaf bus: skip event construction entirely
@@ -289,6 +290,7 @@ class OpportunisticGrid:
                 site=machine.site,
                 machine=machine.name,
                 attempt=attempt,
+                detail=detail or {},
             )
         )
 
@@ -352,7 +354,15 @@ class OpportunisticGrid:
                 continue
             matchmaker.claim(chosen)
             machine = self._by_name[chosen]
-            self._emit(EventKind.MATCH, entry.job, entry.attempt, machine)
+            self._emit(
+                EventKind.MATCH, entry.job, entry.attempt, machine,
+                # Entries still unmatched this pass: the skipped ones
+                # plus everything behind the cursor.
+                detail={
+                    "queue_depth": len(still_queued)
+                    + (len(self._queue) - idx - 1),
+                },
+            )
             wait = self.config.dispatch_latency_s + self._sample_wait()
             self.simulator.schedule(
                 wait,

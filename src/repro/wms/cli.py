@@ -10,7 +10,9 @@ Our equivalents operate on a *submit directory*:
 * ``repro-run``    — execute the planned workflow on the simulated
   platform; streams ``events.jsonl`` live and leaves ``trace.jsonl``,
   ``trace.chrome.json`` (open in Perfetto / about://tracing),
-  ``utilization.tsv`` and ``metrics.json`` behind;
+  ``trace.otlp.json`` (OTLP-JSON causal spans), ``trace.perfetto.json``
+  (Perfetto TracePackets), ``utilization.tsv`` and ``metrics.json``
+  behind;
 * ``repro-status`` — pegasus-status-style view from ``events.jsonl``
   (``--follow`` tails a run in flight);
 * ``repro-statistics`` — print the pegasus-statistics report;
@@ -39,6 +41,8 @@ PLAN_FILE = "plan.json"
 TRACE_FILE = "trace.jsonl"
 EVENTS_FILE = "events.jsonl"
 CHROME_TRACE_FILE = "trace.chrome.json"
+OTLP_TRACE_FILE = "trace.otlp.json"
+PERFETTO_TRACE_FILE = "trace.perfetto.json"
 UTILIZATION_FILE = "utilization.tsv"
 METRICS_FILE = "metrics.json"
 
@@ -201,13 +205,18 @@ def main_run(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     from repro.observe import (
+        AnomalyMonitor,
         EventBus,
         EventKind,
         EventLogWriter,
         EventRecorder,
+        SpanTracer,
         UtilizationSampler,
+        derive_trace_id,
         instrument,
         write_chrome_trace,
+        write_otlp_trace,
+        write_perfetto_trace,
     )
     from repro.resilience import (
         Blacklist,
@@ -334,6 +343,16 @@ def main_run(argv: list[str] | None = None) -> int:
     bus = EventBus()
     recorder = EventRecorder(bus)
     metrics = instrument(bus)
+    # A resumed run extends the pre-crash trace: the journal carries
+    # the trace id forward, so both processes' spans share one trace
+    # and the resumed workflow span links back to the original root.
+    trace_id = (
+        recovered.trace_id
+        if recovered is not None and recovered.trace_id
+        else derive_trace_id(f"{dag.name}:{args.seed}")
+    )
+    tracer = SpanTracer(trace_id=trace_id, bus=bus)
+    monitor = AnomalyMonitor(bus)
 
     faults = []
     if args.chaos_start_failure > 0:
@@ -432,6 +451,7 @@ def main_run(argv: list[str] | None = None) -> int:
             return 2
         if blacklist is not None:
             journal.attach_blacklist(blacklist)
+        journal.record_trace_id(trace_id)
 
     # Truncate any previous event log, then stream this run into it —
     # unless resuming, where the new events append after the old ones
@@ -470,6 +490,9 @@ def main_run(argv: list[str] | None = None) -> int:
         events=recorder.events,
         workflow=dag.name,
     )
+    spans = tracer.finish()
+    write_otlp_trace(submit / OTLP_TRACE_FILE, spans)
+    write_perfetto_trace(submit / PERFETTO_TRACE_FILE, spans)
     if sampler is not None:
         atomic_write(
             submit / UTILIZATION_FILE,
@@ -504,10 +527,15 @@ def main_run(argv: list[str] | None = None) -> int:
     )
     print(
         f"observability: {len(recorder.events)} events "
-        f"({terminal} terminal) -> {EVENTS_FILE}, {CHROME_TRACE_FILE}"
+        f"({terminal} terminal), {len(spans)} spans "
+        f"(trace {trace_id}) -> {EVENTS_FILE}, {CHROME_TRACE_FILE}, "
+        f"{OTLP_TRACE_FILE}, {PERFETTO_TRACE_FILE}"
         + (f", {UTILIZATION_FILE}" if sampler is not None else "")
         + f", {METRICS_FILE}"
     )
+    if monitor.alerts:
+        print(f"anomalies: {len(monitor.alerts)} alert(s) — latest: "
+              + ", ".join(a.kind.value for a in monitor.alerts[-3:]))
     if journal_dir is not None:
         print(f"journal: {journal_dir}")
     if isinstance(env, CloudPlatform):

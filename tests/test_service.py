@@ -391,3 +391,75 @@ class TestLoadGenerator:
             LoadSpec(workflows_per_minute=0.0)
         with pytest.raises(ValueError):
             LoadSpec(tenant_weights=())
+
+
+class TestRestoreCompletions:
+    """Per-tenant SLO accounting across a journal resume: every
+    pre-crash completion counts exactly once, however the journaled
+    records and the live run overlap."""
+
+    def test_resume_counts_pre_crash_completions_once(self, tmp_path):
+        from repro.resilience.journal import Journal, recover
+
+        # Phase 1 — alice's workflow completes; the WAL captures the
+        # service.workflow_done record alongside the job decisions.
+        bus = EventBus()
+        service = _small_service("alice", bus=bus)
+        journal = Journal(tmp_path / "j", bus=bus)
+        service.submit("alice", _parallel_dag("a1", 3), name="a1")
+        service.run()
+        journal.close()
+        before = service.slo_report()["alice"]
+        assert before["account"]["workflows_completed"] == 1
+
+        recovered = recover(tmp_path / "j")
+        completions = recovered.service_completions
+        assert len(completions) == 1
+        (record,) = completions
+        assert record["tenant"] == "alice"
+        assert record["workflow"] == "a1"
+        assert record["succeeded"] is True
+        assert isinstance(record["turnaround_s"], float)
+
+        # Phase 2 — a fresh service (post-crash process) restores the
+        # journaled completions, then runs workflow B.
+        resumed = _small_service("alice")
+        assert resumed.restore_completions(completions) == 1
+        resumed.submit("alice", _parallel_dag("b1", 3), name="b1")
+        resumed.run()
+        after = resumed.slo_report()["alice"]
+        assert after["account"]["workflows_completed"] == 2
+        assert after["account"]["workflows_succeeded"] == 2
+        assert after["turnaround_s"]["count"] == 2
+        assert after["queue_wait_s"]["count"] == 2
+
+        # Replaying the same records again is a no-op.
+        assert resumed.restore_completions(completions) == 0
+        again = resumed.slo_report()["alice"]
+        assert again["account"]["workflows_completed"] == 2
+        assert again["turnaround_s"]["count"] == 2
+
+    def test_restore_skips_unknown_or_blank_tenants(self):
+        service = _small_service("alice")
+        applied = service.restore_completions([
+            {"tenant": "mallory", "workflow": "w", "succeeded": True},
+            {"tenant": "", "workflow": "w", "succeeded": True},
+            {"tenant": "alice", "workflow": "", "succeeded": True},
+        ])
+        assert applied == 0
+        report = service.slo_report()["alice"]
+        assert report["account"]["workflows_completed"] == 0
+
+    def test_live_completion_claims_the_dedup_key(self):
+        # The reverse overlap: the live service already finished the
+        # workflow the WAL replay then hands back.
+        service = _small_service("alice")
+        service.submit("alice", _parallel_dag("a1", 3), name="a1")
+        service.run()
+        assert service.restore_completions([
+            {"tenant": "alice", "workflow": "a1", "succeeded": True,
+             "turnaround_s": 5.0, "queue_wait_s": 1.0},
+        ]) == 0
+        report = service.slo_report()["alice"]
+        assert report["account"]["workflows_completed"] == 1
+        assert report["turnaround_s"]["count"] == 1

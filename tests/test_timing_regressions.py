@@ -12,6 +12,12 @@
    so descendants of a hard-failed job silently vanished from the
    report. Plan information (DAG or expected count) now yields planned
    vs attempted vs unrunnable accounting.
+5. The Chrome-trace exporter sorted a job's retry chain by attempt
+   number alone, but rescue rounds restart numbering at 1 — in a trace
+   merged across a ``--resume`` boundary the chain zig-zagged backwards
+   in time and the retry flow arrows straddling the boundary were drawn
+   wrong (or dropped by Perfetto as acausal). Chains now sort by
+   ``(submit_time, attempt)``.
 """
 
 import pytest
@@ -334,3 +340,68 @@ class TestSummarizePlannedVsAttempted:
         assert stats.total_jobs == 3
         assert stats.attempted_jobs == 1
         assert stats.unattempted_jobs == 2
+
+
+class TestRetryFlowsAcrossRescueRounds:
+    """Regression 5: flow arrows must stay causal in a merged
+    multi-round trace where rescue rounds restart attempt numbering."""
+
+    @staticmethod
+    def attempt(attempt, submit, end, status):
+        return JobAttempt(
+            job_name="x", transformation="t", site="osg",
+            machine=f"m{attempt}-{submit:.0f}", attempt=attempt,
+            submit_time=submit, setup_start=submit, exec_start=submit,
+            exec_end=end, status=status,
+        )
+
+    def merged_trace(self):
+        """Round 1: attempts 1 (failed) and 2 (failed); rescue round
+        restarts numbering: attempt 1 (succeeded) after --resume."""
+        trace = WorkflowTrace()
+        trace.add(self.attempt(1, 0.0, 50.0, JobStatus.FAILED))
+        trace.add(self.attempt(2, 60.0, 90.0, JobStatus.FAILED))
+        trace.add(self.attempt(1, 100.0, 140.0, JobStatus.SUCCEEDED))
+        return trace
+
+    def flows(self, doc):
+        from collections import defaultdict
+
+        pairs = defaultdict(dict)
+        for e in doc["traceEvents"]:
+            if e.get("cat") == "retry" and e["ph"] in ("s", "f"):
+                pairs[e["id"]][e["ph"]] = e
+        return [
+            (pair["s"], pair["f"])
+            for _, pair in sorted(pairs.items())
+        ]
+
+    def test_arrows_span_the_resume_boundary_in_time_order(self):
+        from repro.observe import chrome_trace
+
+        doc = chrome_trace(self.merged_trace(), workflow="wf")
+        flows = self.flows(doc)
+        # two hops: attempt1 -> attempt2 -> rescue-round attempt1
+        assert len(flows) == 2
+        for start, finish in flows:
+            assert start is not None and finish is not None
+            assert start["ts"] <= finish["ts"], (
+                "retry flow arrow points backwards in time"
+            )
+        # the cross-boundary hop lands on the rescue round's resubmit
+        (hop1, hop2) = flows
+        assert hop1[0]["ts"] == 50.0 * 1e6
+        assert hop1[1]["ts"] == 60.0 * 1e6
+        assert hop2[0]["ts"] == 90.0 * 1e6
+        assert hop2[1]["ts"] == 100.0 * 1e6
+
+    def test_single_round_chains_unchanged(self):
+        from repro.observe import chrome_trace
+
+        trace = WorkflowTrace()
+        trace.add(self.attempt(1, 0.0, 50.0, JobStatus.FAILED))
+        trace.add(self.attempt(2, 60.0, 90.0, JobStatus.SUCCEEDED))
+        flows = self.flows(chrome_trace(trace, workflow="wf"))
+        assert len(flows) == 1
+        assert flows[0][0]["ts"] == 50.0 * 1e6
+        assert flows[0][1]["ts"] == 60.0 * 1e6
